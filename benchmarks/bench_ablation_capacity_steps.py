@@ -1,0 +1,55 @@
+"""Ablation: capacity-grid resolution of the sweep technique.
+
+The paper picks 10 capacity levels between L_opt and 1 (equation 7.7).
+This ablation asks how much the chosen response time suffers with coarser
+grids and how much a finer grid buys — i.e., whether 10 is a reasonable
+default — on the 5x5 Grid at demand 16000.
+"""
+
+from repro.core.response_time import alpha_from_demand
+from repro.network.datasets import planetlab_50
+from repro.placement.search import best_placement
+from repro.quorums.grid import GridQuorumSystem
+from repro.quorums.load_analysis import optimal_load
+from repro.strategies.capacity_sweep import (
+    capacity_levels,
+    sweep_uniform_capacities,
+)
+
+STEP_COUNTS = (2, 5, 10, 20)
+
+
+def run_sweeps():
+    topology = planetlab_50()
+    system = GridQuorumSystem(5)
+    placed = best_placement(topology, system).placed
+    alpha = alpha_from_demand(16000)
+    l_opt = optimal_load(system).l_opt
+    rows = []
+    for steps in STEP_COUNTS:
+        levels = capacity_levels(l_opt, steps)
+        sweep = sweep_uniform_capacities(placed, alpha, levels=levels)
+        rows.append(
+            (
+                steps,
+                sweep.best.capacity,
+                sweep.best.result.avg_response_time,
+            )
+        )
+    return rows
+
+
+def test_capacity_grid_resolution(benchmark):
+    rows = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+    print()
+    print("== ablation: capacity grid resolution (5x5 Grid, demand 16000) ==")
+    print("   steps  best capacity  best response (ms)")
+    for steps, capacity, response in rows:
+        print(f"   {steps:5d}  {capacity:13.3f}  {response:18.2f}")
+
+    best_by_steps = {steps: resp for steps, _, resp in rows}
+    # Finer grids never hurt (they include better candidate levels near
+    # L_opt, where the optimum sits at high demand).
+    assert best_by_steps[20] <= best_by_steps[2] + 1e-9
+    # The paper's 10 steps is within 3% of the 20-step optimum.
+    assert best_by_steps[10] <= best_by_steps[20] * 1.03

@@ -1,0 +1,44 @@
+"""Benchmarks regenerating the Section-3 Q/U figures (3.1, 3.2a, 3.2b).
+
+Expected shapes (EXPERIMENTS.md records the measured values):
+
+* response time grows with the client count while network delay stays
+  flat (queueing at the servers);
+* network delay grows with the universe size (quorums spread out);
+* the processing component shrinks slightly with more servers at a fixed
+  client count.
+"""
+
+from repro.experiments import fig_3_1, fig_3_2
+
+
+def test_fig_3_1(run_figure_benchmark):
+    result = run_figure_benchmark(fig_3_1.run)
+    # Response time at the max client count exceeds the low-client one
+    # for every universe size (queueing grows with demand).
+    for series in result.series:
+        if series.label.startswith("response"):
+            assert series.y[-1] >= series.y[0] - 1.0
+
+
+def test_fig_3_2a(run_figure_benchmark):
+    result = run_figure_benchmark(fig_3_2.run_a)
+    net = result.series_by_label("network delay")
+    resp = result.series_by_label("response time")
+    # Network delay grows with the universe size.
+    assert net.y[-1] > net.y[0]
+    # Response time is network delay plus a positive processing component.
+    for n, r in zip(net.y, resp.y):
+        assert r >= n
+
+
+def test_fig_3_2b(run_figure_benchmark):
+    result = run_figure_benchmark(fig_3_2.run_b)
+    net = result.series_by_label("network delay")
+    resp = result.series_by_label("response time")
+    # Network delay is flat in the client count...
+    assert abs(net.y[-1] - net.y[0]) < 0.1 * net.y[0]
+    # ...while the processing component grows.
+    processing_first = resp.y[0] - net.y[0]
+    processing_last = resp.y[-1] - net.y[-1]
+    assert processing_last > processing_first

@@ -1,0 +1,29 @@
+"""Benchmark regenerating Figure 6.3 (low demand, closest strategy).
+
+Paper claims checked here: the singleton is the floor; quorum systems with
+smaller quorums respond faster; small-quorum systems stay near the
+singleton up to a sizable universe.
+"""
+
+from repro.experiments import fig_6_3
+
+
+def test_fig_6_3(run_figure_benchmark):
+    result = run_figure_benchmark(fig_6_3.run)
+
+    singleton = min(result.series_by_label("Singleton").y)
+    grid = result.series_by_label("Grid")
+    large_majority = result.series_by_label("Majority (4t+1, 5t+1)")
+
+    # Singleton is the performance floor.
+    for series in result.series:
+        assert min(series.y) >= singleton - 1e-9
+
+    # The Grid (smallest quorums) stays within 25% of the singleton at its
+    # smallest universe size — "not much worse than one server".
+    assert grid.y[0] <= singleton * 1.25
+
+    # The largest-quorum Majority ends up the worst of the families at its
+    # largest universe.
+    worst_grid = max(grid.y)
+    assert max(large_majority.y) > worst_grid

@@ -1,0 +1,26 @@
+"""Benchmark regenerating Figure 6.4 (closest vs balanced, demand 1000/4000).
+
+Paper claim: closest is best at low demand (especially larger universes);
+balanced takes over at high demand; at intermediate demand the curves
+cross — the "gray area".
+"""
+
+from repro.experiments import fig_6_4
+
+
+def test_fig_6_4(run_figure_benchmark):
+    result = run_figure_benchmark(fig_6_4.run)
+
+    c1000 = result.series_by_label("closest demand=1000")
+    b1000 = result.series_by_label("balanced demand=1000")
+    c4000 = result.series_by_label("closest demand=4000")
+    b4000 = result.series_by_label("balanced demand=4000")
+
+    # At demand 1000 closest wins somewhere (typically large universes).
+    assert any(c <= b for c, b in zip(c1000.y, b1000.y))
+    # At demand 4000 balanced wins somewhere (load dispersion pays).
+    assert any(b <= c for c, b in zip(c4000.y, b4000.y))
+    # Balanced helps more at 4000 than at 1000 (relative advantage grows).
+    adv_1000 = sum(c - b for c, b in zip(c1000.y, b1000.y))
+    adv_4000 = sum(c - b for c, b in zip(c4000.y, b4000.y))
+    assert adv_4000 > adv_1000

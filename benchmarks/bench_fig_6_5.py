@@ -1,0 +1,24 @@
+"""Benchmark regenerating Figure 6.5 (Grid at demand 16000).
+
+Paper claim: under very high demand the balanced strategy's response time
+*decreases* as the universe grows (dispersion dominates), while the closest
+strategy exhibits no such improvement; network delay grows with universe
+size for balanced.
+"""
+
+from repro.experiments import fig_6_5
+
+
+def test_fig_6_5(run_figure_benchmark):
+    result = run_figure_benchmark(fig_6_5.run)
+
+    resp_bal = result.series_by_label("response balanced")
+    resp_clo = result.series_by_label("response closest")
+    nd_bal = result.series_by_label("netdelay balanced")
+
+    # Balanced response improves from the smallest universe to its best.
+    assert min(resp_bal.y) < resp_bal.y[0]
+    # Balanced beats closest at the largest universe.
+    assert resp_bal.y[-1] < resp_clo.y[-1]
+    # Balanced network delay grows with universe size.
+    assert nd_bal.y[-1] > nd_bal.y[0]

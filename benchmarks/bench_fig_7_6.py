@@ -1,0 +1,22 @@
+"""Benchmark regenerating Figure 7.6 (uniform capacity sweep surface).
+
+Paper claim: higher node capacity lets clients reach closer quorums
+(network delay falls) but concentrates load, so under demand 16000 the
+response time *rises* with capacity.
+"""
+
+from repro.experiments import fig_7_6
+
+
+def test_fig_7_6(run_figure_benchmark):
+    result = run_figure_benchmark(fig_7_6.run)
+
+    for series in result.series:
+        if series.label.startswith("netdelay"):
+            # Network delay non-increasing in capacity.
+            assert all(
+                a >= b - 1e-6 for a, b in zip(series.y, series.y[1:])
+            )
+        if series.label.startswith("response"):
+            # Response time at max capacity >= at min capacity.
+            assert series.y[-1] >= series.y[0] - 1e-6

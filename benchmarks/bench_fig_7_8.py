@@ -1,0 +1,22 @@
+"""Benchmark regenerating Figure 7.8 (7x7 Grid capacity slice).
+
+Paper claim: at n = 49 and demand 16000, response time rises with node
+capacity for both schemes but more slowly for non-uniform capacities;
+network delay falls with capacity.
+"""
+
+from repro.experiments import fig_7_8
+
+
+def test_fig_7_8(run_figure_benchmark):
+    result = run_figure_benchmark(fig_7_8.run)
+
+    nd = result.series_by_label("network delay")
+    uniform = result.series_by_label("response uniform")
+    nonuniform = result.series_by_label("response nonuniform")
+
+    assert all(a >= b - 1e-6 for a, b in zip(nd.y, nd.y[1:]))
+    assert uniform.y[-1] >= uniform.y[0]
+    total_uniform = sum(uniform.y)
+    total_nonuniform = sum(nonuniform.y)
+    assert total_nonuniform <= total_uniform + 1e-6

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 8.9 (iterative many-to-one, 5x5 Grid).
+
+Paper claims: the iterative algorithm's network delay sits well below the
+one-to-one placement at every capacity; the first iteration captures
+essentially all of the gain (the second changes little).
+"""
+
+from repro.experiments import fig_8_9
+
+
+def test_fig_8_9(run_figure_benchmark):
+    result = run_figure_benchmark(fig_8_9.run)
+
+    iter1 = result.series_by_label("netdelay 1st iteration")
+    iter2 = result.series_by_label("netdelay 2nd iteration")
+    o2o = result.series_by_label("netdelay one-to-one")
+
+    for i1, oo in zip(iter1.y, o2o.y):
+        assert i1 < oo
+    for i1, i2 in zip(iter1.y, iter2.y):
+        assert abs(i1 - i2) <= 10.0

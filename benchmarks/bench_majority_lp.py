@@ -1,0 +1,58 @@
+"""Extension benchmark: the strategy LP on large Majorities via candidates.
+
+The paper's LP figures use the Grid because Majorities have C(n, q)
+quorums. With the candidate-subsystem generator the same technique applies
+to Majorities: at demand 16000 on Planetlab-50 the LP-over-candidates
+should beat both the closest and balanced baselines for the (4t+1, 5t+1)
+family the Q/U experiments use.
+"""
+
+import numpy as np
+
+from repro.core.placement import PlacedQuorumSystem, Placement
+from repro.core.response_time import alpha_from_demand, evaluate
+from repro.network.datasets import planetlab_50
+from repro.placement.search import best_placement
+from repro.quorums.threshold import MajorityKind, majority
+from repro.strategies.candidates import candidate_subsystem
+from repro.strategies.capacity_sweep import (
+    capacity_levels,
+    sweep_uniform_capacities,
+)
+from repro.quorums.load_analysis import optimal_load
+from repro.strategies.simple import balanced_strategy, closest_strategy
+
+
+def run_comparison():
+    topology = planetlab_50()
+    system = majority(MajorityKind.QU, 4)  # n=21, q=17
+    placed = best_placement(topology, system).placed
+    alpha = alpha_from_demand(16000)
+
+    closest_resp = evaluate(
+        placed, closest_strategy(placed), alpha=alpha
+    ).avg_response_time
+    balanced_resp = evaluate(
+        placed, balanced_strategy(placed), alpha=alpha
+    ).avg_response_time
+
+    sub = candidate_subsystem(placed, random_extra=16)
+    levels = capacity_levels(optimal_load(system).l_opt, 5)
+    sweep = sweep_uniform_capacities(sub, alpha, levels=levels)
+    lp_resp = sweep.best.result.avg_response_time
+    return closest_resp, balanced_resp, lp_resp, sub.system.num_quorums
+
+
+def test_majority_lp_via_candidates(benchmark):
+    closest_resp, balanced_resp, lp_resp, n_candidates = benchmark.pedantic(
+        run_comparison, rounds=1, iterations=1
+    )
+    print()
+    print("== extension: strategy LP on Majority (4t+1,5t+1), t=4, demand 16000 ==")
+    print(f"   candidate quorums: {n_candidates}")
+    print(f"   closest response:  {closest_resp:8.2f} ms")
+    print(f"   balanced response: {balanced_resp:8.2f} ms")
+    print(f"   LP response:       {lp_resp:8.2f} ms")
+
+    assert lp_resp <= closest_resp + 1e-6
+    assert lp_resp <= balanced_resp + 1e-6

@@ -1,0 +1,101 @@
+"""Edge-service planner: how many proxies, which quorum system, where?
+
+The paper's motivating scenario (Section 1) is deploying a dynamic service
+"on the edge" across wide-area proxies, coordinating through quorums. This
+example plays the operator: given a topology and an expected client demand,
+it sweeps candidate quorum systems and universe sizes, places each with the
+one-to-one algorithms, tunes access strategies with the capacity-sweep LP,
+and reports the frontier of response time vs fault tolerance — the tradeoff
+the paper's Sections 6-7 map out.
+
+Run: ``python examples/edge_service_planner.py [demand]``
+"""
+
+import sys
+
+from repro import (
+    GridQuorumSystem,
+    MajorityKind,
+    alpha_from_demand,
+    best_placement,
+    evaluate,
+    majority,
+    planetlab_50,
+    singleton_placement,
+    sweep_uniform_capacities,
+)
+from repro.analysis.fault_tolerance import crash_tolerance
+from repro.core.strategy import ExplicitStrategy
+from repro.quorums.threshold import ThresholdQuorumSystem
+from repro.strategies.simple import closest_strategy
+
+
+def tuned_response_time(placed, alpha: float) -> float:
+    """Best response time over strategies: LP sweep when enumerable,
+    closest otherwise (large Majorities)."""
+    if placed.system.is_enumerable and not isinstance(
+        placed.system, ThresholdQuorumSystem
+    ):
+        sweep = sweep_uniform_capacities(placed, alpha)
+        return sweep.best.result.avg_response_time
+    return evaluate(
+        placed, closest_strategy(placed), alpha=alpha
+    ).avg_response_time
+
+
+def main() -> None:
+    demand = int(sys.argv[1]) if len(sys.argv) > 1 else 4000
+    alpha = alpha_from_demand(demand)
+    topology = planetlab_50()
+    print(
+        f"planning an edge service on {topology.n_nodes} sites, "
+        f"client demand {demand} (alpha = {alpha:.1f} ms)\n"
+    )
+
+    candidates = []
+    for k in (2, 3, 4, 5, 6, 7):
+        candidates.append(GridQuorumSystem(k))
+    for t in (1, 2, 4, 6):
+        candidates.append(majority(MajorityKind.SIMPLE, t))
+    for t in (1, 2, 4):
+        candidates.append(majority(MajorityKind.BFT, t))
+
+    print(
+        f"{'system':>24} {'servers':>8} {'response(ms)':>13} "
+        f"{'crash tolerance':>16}"
+    )
+
+    sing = singleton_placement(topology)
+    sing_resp = evaluate(
+        sing, ExplicitStrategy.uniform(sing), alpha=alpha
+    ).avg_response_time
+    print(f"{'Singleton':>24} {1:>8} {sing_resp:>13.1f} {0:>16}")
+
+    rows = []
+    for system in candidates:
+        placed = best_placement(topology, system).placed
+        response = tuned_response_time(placed, alpha)
+        tolerance = crash_tolerance(placed)
+        rows.append((system.name, system.universe_size, response, tolerance))
+        print(
+            f"{system.name:>24} {system.universe_size:>8} "
+            f"{response:>13.1f} {tolerance:>16}"
+        )
+
+    print()
+    # Frontier: for each tolerance level, the cheapest response time.
+    frontier: dict[int, tuple[str, float]] = {}
+    for name, _, response, tolerance in rows:
+        if tolerance not in frontier or response < frontier[tolerance][1]:
+            frontier[tolerance] = (name, response)
+    print("response-time / fault-tolerance frontier:")
+    for tolerance in sorted(frontier):
+        name, response = frontier[tolerance]
+        print(
+            f"   tolerate {tolerance} crashes: {name} "
+            f"({response:.1f} ms)"
+        )
+
+
+if __name__ == "__main__":
+    main()

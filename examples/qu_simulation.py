@@ -1,0 +1,57 @@
+"""Simulate the Q/U protocol over an emulated WAN (the paper's Section 3).
+
+Places 5t+1 Q/U servers on the Planetlab-50 topology, runs closed-loop
+clients issuing single-round-trip quorum operations against random
+4t+1-quorums, and shows how response time decomposes into network delay
+plus queueing as client demand grows — the tension the rest of the paper
+resolves with placement and strategy tuning.
+
+Run: ``python examples/qu_simulation.py [t] [duration_ms]``
+"""
+
+import sys
+
+from repro.network.datasets import planetlab_50
+from repro.sim.experiment import QUExperimentConfig, run_qu_experiment
+
+
+def main() -> None:
+    t = int(sys.argv[1]) if len(sys.argv) > 1 else 2
+    duration = float(sys.argv[2]) if len(sys.argv) > 2 else 3000.0
+    topology = planetlab_50()
+
+    print(
+        f"Q/U with t={t}: n={5 * t + 1} servers, quorums of {4 * t + 1}, "
+        f"10 client sites, 1 ms/request service time\n"
+    )
+    print(
+        f"{'clients':>8} {'response(ms)':>13} {'network(ms)':>12} "
+        f"{'queueing(ms)':>13} {'server util':>12} {'ops':>8}"
+    )
+    for clients_per_site in (1, 2, 4, 6, 8, 10):
+        config = QUExperimentConfig(
+            t=t,
+            clients_per_site=clients_per_site,
+            duration_ms=duration,
+            warmup_ms=duration * 0.2,
+            seed=42,
+        )
+        result = run_qu_experiment(topology, config)
+        stats = result.stats
+        print(
+            f"{config.n_clients:>8} "
+            f"{stats.mean_response_ms:>13.1f} "
+            f"{stats.mean_network_delay_ms:>12.1f} "
+            f"{stats.mean_processing_ms:>13.1f} "
+            f"{result.mean_server_utilization:>12.2f} "
+            f"{result.operations_completed:>8}"
+        )
+
+    print(
+        "\nnetwork delay stays flat while queueing grows with demand —\n"
+        "the motivation for load-aware placement and access strategies."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Editable-install fallback for offline environments.
+
+``pip install -e .`` needs the ``wheel`` package to build PEP 660 editable
+wheels; on machines without it (or without network access to fetch it),
+this script reproduces the essential effect: it drops a ``.pth`` file into
+the active interpreter's site-packages pointing at ``src/``, so ``import
+repro`` resolves to the working tree.
+
+Usage: ``python scripts/dev_install.py [--uninstall]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import site
+import sys
+from pathlib import Path
+
+PTH_NAME = "repro-editable.pth"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--uninstall", action="store_true", help="remove the .pth link"
+    )
+    args = parser.parse_args()
+
+    src = Path(__file__).resolve().parent.parent / "src"
+    if not (src / "repro" / "__init__.py").exists():
+        print(f"error: {src} does not contain the repro package", file=sys.stderr)
+        return 1
+    site_dir = Path(site.getsitepackages()[0])
+    pth = site_dir / PTH_NAME
+
+    if args.uninstall:
+        if pth.exists():
+            pth.unlink()
+            print(f"removed {pth}")
+        else:
+            print("nothing to remove")
+        return 0
+
+    pth.write_text(str(src) + "\n")
+    print(f"linked {src} via {pth}")
+    return 0
+
+
+if __name__ == "__main__":
+    main()
+    raise SystemExit(0)

@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that editable installs work on
+environments whose setuptools predates PEP 660 wheel-based editables
+(legacy ``setup.py develop`` path).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Minimizing Response Time for Quorum-System "
+        "Protocols over Wide-Area Networks' (Oprea & Reiter, DSN 2007)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+)

@@ -1,0 +1,95 @@
+"""Tail-latency analysis of placed quorum systems. (Extension.)
+
+The paper optimizes *average* response time; operators usually also care
+about tails. For any client the network delay of an access is a discrete
+random variable (which quorum was sampled); this module computes its exact
+distribution and quantiles:
+
+* explicit strategies — the support is the client's row of the delay
+  matrix weighted by its strategy row;
+* balanced threshold strategies — the CDF of the max of a uniform random
+  ``q``-subset has a closed combinatorial form
+  (:func:`repro.quorums.order_stats.cdf_max_of_random_subset`), so
+  quantiles come from exact order statistics without enumeration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.placement import PlacedQuorumSystem
+from repro.core.strategy import (
+    AccessStrategy,
+    ExplicitStrategy,
+    ThresholdBalancedStrategy,
+    ThresholdClosestStrategy,
+)
+from repro.errors import StrategyError
+from repro.quorums.order_stats import max_order_statistic_pmf
+
+__all__ = ["delay_distribution", "delay_quantile"]
+
+
+def delay_distribution(
+    placed: PlacedQuorumSystem,
+    strategy: AccessStrategy,
+    client: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact network-delay distribution of one client's accesses.
+
+    Returns ``(values, probabilities)`` sorted by value, with duplicate
+    values merged.
+    """
+    if not 0 <= client < placed.n_nodes:
+        raise StrategyError(f"client {client} outside topology")
+    if isinstance(strategy, ExplicitStrategy):
+        values = placed.delay_matrix[client]
+        probs = strategy.matrix[client]
+    elif isinstance(strategy, ThresholdBalancedStrategy):
+        dist = np.sort(placed.support_distances[client])
+        probs = max_order_statistic_pmf(
+            placed.system.universe_size, placed.system.quorum_size
+        )
+        values = dist
+    elif isinstance(strategy, ThresholdClosestStrategy):
+        q = placed.system.quorum_size
+        row = placed.support_distances[client]
+        chosen = np.argsort(row, kind="stable")[:q]
+        return np.array([row[chosen].max()]), np.array([1.0])
+    else:
+        raise StrategyError(
+            f"unsupported strategy type {type(strategy).__name__}"
+        )
+    order = np.argsort(values, kind="stable")
+    values, probs = values[order], probs[order]
+    # Merge duplicates so the support is strictly increasing.
+    unique, inverse = np.unique(values, return_inverse=True)
+    merged = np.zeros_like(unique)
+    np.add.at(merged, inverse, probs)
+    keep = merged > 0
+    return unique[keep], merged[keep]
+
+
+def delay_quantile(
+    placed: PlacedQuorumSystem,
+    strategy: AccessStrategy,
+    level: float,
+    clients: object = None,
+) -> np.ndarray:
+    """Per-client delay quantiles at the given level (e.g. 0.95).
+
+    The quantile is the smallest support value whose CDF reaches
+    ``level``.
+    """
+    if not 0.0 < level <= 1.0:
+        raise StrategyError(f"quantile level must be in (0, 1], got {level}")
+    if clients is None:
+        clients = np.arange(placed.n_nodes)
+    clients = np.asarray(clients, dtype=np.intp)
+    out = np.empty(clients.size)
+    for i, v in enumerate(clients):
+        values, probs = delay_distribution(placed, strategy, int(v))
+        cdf = np.cumsum(probs)
+        idx = int(np.searchsorted(cdf, level - 1e-12))
+        out[i] = values[min(idx, values.size - 1)]
+    return out

@@ -1,0 +1,224 @@
+"""Command-line interface for placement planning.
+
+``python -m repro plan`` runs the full pipeline — topology, quorum system,
+placement, strategy tuning — and prints a deployment plan: which sites host
+elements, which strategy clients should use, and the predicted response
+time. Subcommands::
+
+    python -m repro topologies
+    python -m repro systems --max-universe 49
+    python -m repro plan --topology planetlab-50 --system grid:5 \
+        --demand 4000 --strategy lp
+    python -m repro plan --system majority:simple:3 --strategy closest
+    python -m repro plan --system grid:4 --many-to-one 0.8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.fault_tolerance import crash_tolerance
+from repro.core.response_time import alpha_from_demand, evaluate
+from repro.core.strategy import ExplicitStrategy
+from repro.errors import ReproError
+from repro.network.datasets import available_topologies, load_topology
+from repro.placement.many_to_one import best_many_to_one_placement
+from repro.placement.search import best_placement
+from repro.quorums.grid import GridQuorumSystem
+from repro.quorums.load_analysis import optimal_load
+from repro.quorums.threshold import MajorityKind, majority
+from repro.strategies.capacity_sweep import sweep_uniform_capacities
+from repro.strategies.simple import balanced_strategy, closest_strategy
+
+__all__ = ["main", "parse_system"]
+
+_MAJORITY_ALIASES = {
+    "simple": MajorityKind.SIMPLE,
+    "bft": MajorityKind.BFT,
+    "qu": MajorityKind.QU,
+}
+
+
+def parse_system(spec: str):
+    """Parse a system spec: ``grid:<k>`` or ``majority:<kind>:<t>``.
+
+    >>> parse_system("grid:3").name
+    'Grid 3x3'
+    >>> parse_system("majority:qu:2").universe_size
+    11
+    """
+    parts = spec.lower().split(":")
+    if parts[0] == "grid" and len(parts) == 2:
+        return GridQuorumSystem(int(parts[1]))
+    if parts[0] == "majority" and len(parts) == 3:
+        kind = _MAJORITY_ALIASES.get(parts[1])
+        if kind is None:
+            raise ReproError(
+                f"unknown majority kind {parts[1]!r}; "
+                f"choose from {sorted(_MAJORITY_ALIASES)}"
+            )
+        return majority(kind, int(parts[2]))
+    raise ReproError(
+        f"cannot parse system spec {spec!r}; expected 'grid:<k>' or "
+        "'majority:<simple|bft|qu>:<t>'"
+    )
+
+
+def _cmd_topologies(_args) -> int:
+    for name in available_topologies():
+        topo = load_topology(name)
+        median_avg = topo.mean_distances()[topo.median()]
+        print(
+            f"{name:>14}: {topo.n_nodes:4d} sites, "
+            f"median avg RTT {median_avg:6.1f} ms"
+        )
+    return 0
+
+
+def _cmd_systems(args) -> int:
+    print(f"{'spec':>22} {'universe':>9} {'quorum':>7} {'L_opt':>7}")
+    k = 2
+    while k * k <= args.max_universe:
+        g = GridQuorumSystem(k)
+        print(
+            f"{'grid:' + str(k):>22} {g.universe_size:>9} "
+            f"{g.min_quorum_size:>7} {optimal_load(g).l_opt:>7.3f}"
+        )
+        k += 1
+    for alias, kind in _MAJORITY_ALIASES.items():
+        t = 1
+        while True:
+            system = majority(kind, t)
+            if system.universe_size > args.max_universe:
+                break
+            print(
+                f"{'majority:' + alias + ':' + str(t):>22} "
+                f"{system.universe_size:>9} {system.quorum_size:>7} "
+                f"{optimal_load(system).l_opt:>7.3f}"
+            )
+            t += 1
+    return 0
+
+
+def _pick_strategy(placed, name: str, alpha: float):
+    if name == "closest":
+        return closest_strategy(placed), "closest"
+    if name == "balanced":
+        return balanced_strategy(placed), "balanced"
+    if name == "lp":
+        if not placed.system.is_enumerable or placed.is_threshold:
+            # Large Majorities: LP needs enumeration; fall back to the
+            # better of the two simple strategies.
+            candidates = [
+                (closest_strategy(placed), "closest"),
+                (balanced_strategy(placed), "balanced"),
+            ]
+            best = min(
+                candidates,
+                key=lambda su: evaluate(
+                    placed, su[0], alpha=alpha
+                ).avg_response_time,
+            )
+            return best[0], f"{best[1]} (LP unavailable for thresholds)"
+        sweep = sweep_uniform_capacities(placed, alpha)
+        return (
+            sweep.best.strategy,
+            f"LP-tuned (capacity {sweep.best.capacity:.3f})",
+        )
+    raise ReproError(f"unknown strategy {name!r}")
+
+
+def _cmd_plan(args) -> int:
+    topology = load_topology(args.topology)
+    system = parse_system(args.system)
+    alpha = alpha_from_demand(args.demand)
+
+    if args.many_to_one is not None:
+        search = best_many_to_one_placement(
+            topology,
+            system,
+            capacities=np.full(topology.n_nodes, args.many_to_one),
+            candidates=np.argsort(topology.mean_distances())[:15],
+        )
+        placed = search.placed
+        placement_kind = f"many-to-one (cap {args.many_to_one})"
+        strategy, strategy_name = (
+            ExplicitStrategy.uniform(placed),
+            "balanced (many-to-one)",
+        )
+    else:
+        placed = best_placement(topology, system).placed
+        placement_kind = "one-to-one"
+        strategy, strategy_name = _pick_strategy(
+            placed, args.strategy, alpha
+        )
+
+    result = evaluate(placed, strategy, alpha=alpha)
+
+    print(f"deployment plan — {system.name} on {args.topology}")
+    print(f"  placement:        {placement_kind}")
+    print(f"  client demand:    {args.demand} (alpha {alpha:.1f} ms)")
+    print(f"  strategy:         {strategy_name}")
+    print(f"  response time:    {result.avg_response_time:.1f} ms")
+    print(f"  network delay:    {result.avg_network_delay:.1f} ms")
+    print(f"  max node load:    {result.max_node_load:.3f}")
+    print(f"  crash tolerance:  {crash_tolerance(placed)} node(s)")
+    print("  hosting sites:")
+    assignment = placed.placement.assignment
+    for w in placed.placement.support_set:
+        elements = np.flatnonzero(assignment == w)
+        label = ",".join(str(int(u)) for u in elements)
+        print(
+            f"    {topology.names[int(w)]:>18} "
+            f"(load {result.node_loads[int(w)]:.3f}) "
+            f"elements [{label}]"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Quorum placement planning (Oprea & Reiter, DSN 2007).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("topologies", help="list bundled topologies")
+
+    systems = sub.add_parser("systems", help="list quorum system specs")
+    systems.add_argument("--max-universe", type=int, default=49)
+
+    plan = sub.add_parser("plan", help="compute a deployment plan")
+    plan.add_argument("--topology", default="planetlab-50",
+                      choices=available_topologies())
+    plan.add_argument("--system", default="grid:5",
+                      help="'grid:<k>' or 'majority:<simple|bft|qu>:<t>'")
+    plan.add_argument("--demand", type=int, default=0,
+                      help="client demand in requests (alpha = 0.007ms * demand)")
+    plan.add_argument("--strategy", default="lp",
+                      choices=["lp", "closest", "balanced"])
+    plan.add_argument("--many-to-one", type=float, default=None,
+                      metavar="CAP",
+                      help="use the many-to-one pipeline with this uniform capacity")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "topologies": _cmd_topologies,
+        "systems": _cmd_systems,
+        "plan": _cmd_plan,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Core abstractions: placements, access strategies, the response-time model.
+
+This package implements the paper's modelling layer (Section 4):
+
+* :class:`~repro.core.placement.Placement` — a mapping ``f : U -> V`` of
+  universe elements to topology nodes, and
+  :class:`~repro.core.placement.PlacedQuorumSystem`, the triple
+  (quorum system, placement, topology) every evaluation consumes;
+* :mod:`~repro.core.load` — the load a strategy profile induces on nodes;
+* :mod:`~repro.core.strategy` — access strategies ``p_v`` (explicit matrices
+  and implicit threshold strategies);
+* :mod:`~repro.core.response_time` — equations (4.1)-(4.2) and the
+  ``alpha = op_srv_time * client_demand`` recipe;
+* :mod:`~repro.core.iterative` — the iterative placement/strategy algorithm
+  of Section 4.2.
+"""
+
+from repro.core.placement import PlacedQuorumSystem, Placement
+from repro.core.response_time import (
+    DEFAULT_OP_SRV_TIME_MS,
+    ResponseTimeResult,
+    alpha_from_demand,
+    evaluate,
+)
+from repro.core.strategy import (
+    AccessStrategy,
+    ExplicitStrategy,
+    ThresholdBalancedStrategy,
+    ThresholdClosestStrategy,
+)
+
+__all__ = [
+    "Placement",
+    "PlacedQuorumSystem",
+    "AccessStrategy",
+    "ExplicitStrategy",
+    "ThresholdClosestStrategy",
+    "ThresholdBalancedStrategy",
+    "ResponseTimeResult",
+    "evaluate",
+    "alpha_from_demand",
+    "DEFAULT_OP_SRV_TIME_MS",
+]

@@ -1,0 +1,94 @@
+"""Load computations (Section 4, "Load").
+
+For a client ``v`` with access strategy ``p_v``:
+
+* element load: ``load_v(u) = sum_{Q ni u} p_v(Q)``;
+* node load under placement ``f``:
+  ``load_{v,f}(w) = sum_{u : f(u) = w} load_v(u)``;
+* system node load: ``load_f(w) = avg_{v in V} load_{v,f}(w)``.
+
+With the strategy profile as a matrix ``P`` (clients x quorums) and the
+incidence matrix ``A[i, w]`` (elements of ``Q_i`` on node ``w``), node loads
+are ``load_f = mean_v(P) @ A`` — a single matrix product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.placement import PlacedQuorumSystem
+from repro.errors import StrategyError
+
+__all__ = [
+    "element_loads",
+    "node_loads_for_client",
+    "node_loads",
+    "node_loads_from_average_strategy",
+]
+
+
+def _check_strategy_matrix(placed: PlacedQuorumSystem, p: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(p, dtype=np.float64)
+    if matrix.ndim == 1:
+        matrix = matrix[None, :]
+    if matrix.shape[1] != placed.num_quorums:
+        raise StrategyError(
+            f"strategy has {matrix.shape[1]} quorum columns, "
+            f"system has {placed.num_quorums}"
+        )
+    return matrix
+
+
+def element_loads(placed: PlacedQuorumSystem, p_v: np.ndarray) -> np.ndarray:
+    """``load_v(u)`` for every element ``u``, for one client's strategy."""
+    p = np.asarray(p_v, dtype=np.float64)
+    if p.shape != (placed.num_quorums,):
+        raise StrategyError(
+            f"expected a strategy over {placed.num_quorums} quorums"
+        )
+    loads = np.zeros(placed.system.universe_size)
+    for i, quorum in enumerate(placed.system.quorums):
+        if p[i] == 0.0:
+            continue
+        for u in quorum:
+            loads[u] += p[i]
+    return loads
+
+
+def node_loads_for_client(
+    placed: PlacedQuorumSystem, p_v: np.ndarray, coalesce: bool = False
+) -> np.ndarray:
+    """``load_{v,f}(w)`` for every node ``w``, for one client's strategy."""
+    matrix = _check_strategy_matrix(placed, p_v)
+    a = placed.incidence_indicator if coalesce else placed.incidence_counts
+    return (matrix @ a)[0]
+
+
+def node_loads(
+    placed: PlacedQuorumSystem,
+    strategy_matrix: np.ndarray,
+    coalesce: bool = False,
+) -> np.ndarray:
+    """``load_f(w)``: node loads averaged over the client rows of ``P``."""
+    matrix = _check_strategy_matrix(placed, strategy_matrix)
+    a = placed.incidence_indicator if coalesce else placed.incidence_counts
+    return matrix.mean(axis=0) @ a
+
+
+def node_loads_from_average_strategy(
+    placed: PlacedQuorumSystem,
+    average_strategy: np.ndarray,
+    coalesce: bool = False,
+) -> np.ndarray:
+    """Node loads induced by a single *global* strategy (all clients alike).
+
+    Used by the iterative algorithm, which feeds the placement phase the
+    average strategy ``avg({p_v})``.
+    """
+    p = np.asarray(average_strategy, dtype=np.float64)
+    if p.shape != (placed.num_quorums,):
+        raise StrategyError(
+            f"expected a strategy over {placed.num_quorums} quorums"
+        )
+    a = placed.incidence_indicator if coalesce else placed.incidence_counts
+    return p @ a

@@ -1,0 +1,216 @@
+"""Quorum placements: the mapping ``f : U -> V``.
+
+A placement assigns every universe element of a quorum system to a node of
+the topology (Section 4, "Quorum placement"). One-to-one placements preserve
+the fault tolerance of the original system (distinct elements fail
+independently); many-to-one placements may reduce network delay by
+co-locating elements.
+
+:class:`PlacedQuorumSystem` bundles (system, placement, topology) and caches
+the derived quantities every algorithm needs: placed quorums ``f(Q)``, the
+element-to-node incidence matrix, and the network-delay matrix
+``delta_f(v, Q_i) = max_{w in f(Q_i)} d(v, w)``.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import PlacementError
+from repro.network.graph import Topology
+from repro.quorums.base import QuorumSystem
+from repro.quorums.threshold import ThresholdQuorumSystem
+
+__all__ = ["Placement", "PlacedQuorumSystem"]
+
+
+class Placement:
+    """An assignment of universe elements to topology nodes."""
+
+    def __init__(self, assignment: object) -> None:
+        arr = np.asarray(assignment, dtype=np.intp)
+        if arr.ndim != 1 or arr.size == 0:
+            raise PlacementError(
+                f"assignment must be a non-empty vector, got shape {arr.shape}"
+            )
+        if np.any(arr < 0):
+            raise PlacementError("assignment contains negative node ids")
+        self._assignment = arr
+        self._assignment.setflags(write=False)
+
+    @property
+    def assignment(self) -> np.ndarray:
+        """``assignment[u]`` is the node hosting element ``u`` (read-only)."""
+        return self._assignment
+
+    @property
+    def universe_size(self) -> int:
+        return self._assignment.size
+
+    def node_of(self, element: int) -> int:
+        """The node ``f(u)`` hosting a universe element."""
+        return int(self._assignment[element])
+
+    @cached_property
+    def support_set(self) -> np.ndarray:
+        """Sorted distinct nodes hosting at least one element (``f(U)``)."""
+        return np.unique(self._assignment)
+
+    @property
+    def is_one_to_one(self) -> bool:
+        """True when distinct elements land on distinct nodes."""
+        return self.support_set.size == self.universe_size
+
+    def elements_on(self, node: int) -> np.ndarray:
+        """Ids of the universe elements placed on ``node``."""
+        return np.flatnonzero(self._assignment == node)
+
+    def multiplicities(self, n_nodes: int) -> np.ndarray:
+        """``result[w]`` = number of elements placed on node ``w``."""
+        return np.bincount(self._assignment, minlength=n_nodes)
+
+    def validate_for(self, system: QuorumSystem, topology: Topology) -> None:
+        """Check compatibility with a quorum system and a topology."""
+        if self.universe_size != system.universe_size:
+            raise PlacementError(
+                f"placement covers {self.universe_size} elements but "
+                f"{system.name} has universe size {system.universe_size}"
+            )
+        if int(self._assignment.max()) >= topology.n_nodes:
+            raise PlacementError(
+                "placement references a node outside the topology"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Placement):
+            return NotImplemented
+        return np.array_equal(self._assignment, other._assignment)
+
+    def __hash__(self) -> int:
+        return hash(self._assignment.tobytes())
+
+    def __repr__(self) -> str:
+        return (
+            f"Placement(universe_size={self.universe_size}, "
+            f"support={self.support_set.size} nodes)"
+        )
+
+
+class PlacedQuorumSystem:
+    """A quorum system placed on a topology; the unit every evaluator consumes."""
+
+    def __init__(
+        self,
+        system: QuorumSystem,
+        placement: Placement,
+        topology: Topology,
+    ) -> None:
+        placement.validate_for(system, topology)
+        self.system = system
+        self.placement = placement
+        self.topology = topology
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return self.topology.n_nodes
+
+    @property
+    def num_quorums(self) -> int:
+        return self.system.num_quorums
+
+    @property
+    def is_threshold(self) -> bool:
+        """True when the system is an implicit threshold (Majority) system."""
+        return isinstance(self.system, ThresholdQuorumSystem)
+
+    @cached_property
+    def placed_quorums(self) -> list[np.ndarray]:
+        """For each quorum ``Q_i``, the distinct nodes of ``f(Q_i)``.
+
+        Requires an enumerable system.
+        """
+        assignment = self.placement.assignment
+        return [
+            np.unique(assignment[np.fromiter(q, dtype=np.intp)])
+            for q in self.system.quorums
+        ]
+
+    @cached_property
+    def incidence_counts(self) -> np.ndarray:
+        """``A[i, w]`` = number of elements of ``Q_i`` placed on node ``w``.
+
+        This is the paper's load model: a node hosting several elements of
+        the accessed quorum processes the request once *per element*.
+        """
+        assignment = self.placement.assignment
+        m = self.system.num_quorums
+        a = np.zeros((m, self.n_nodes), dtype=np.float64)
+        for i, quorum in enumerate(self.system.quorums):
+            for u in quorum:
+                a[i, assignment[u]] += 1.0
+        return a
+
+    @cached_property
+    def incidence_indicator(self) -> np.ndarray:
+        """``A[i, w] in {0, 1}``: whether any element of ``Q_i`` is on ``w``.
+
+        The paper's future-work variation ("a server hosting multiple
+        universe elements would execute a request only once"); used by the
+        coalescing ablation.
+        """
+        return (self.incidence_counts > 0).astype(np.float64)
+
+    # ------------------------------------------------------------------
+    # Delays
+    # ------------------------------------------------------------------
+    @cached_property
+    def delay_matrix(self) -> np.ndarray:
+        """``delta[v, i] = max_{w in f(Q_i)} d(v, w)`` for all clients/quorums.
+
+        Requires an enumerable system; threshold systems use
+        :meth:`support_distances` with order statistics instead.
+        """
+        rtt = self.topology.rtt
+        delta = np.empty((self.n_nodes, self.num_quorums))
+        for i, nodes in enumerate(self.placed_quorums):
+            delta[:, i] = rtt[:, nodes].max(axis=1)
+        return delta
+
+    def quorum_delay(self, client: int, quorum_index: int) -> float:
+        """Network delay ``delta_f(v, Q_i)`` for one client/quorum pair."""
+        nodes = self.placed_quorums[quorum_index]
+        return float(self.topology.rtt[client, nodes].max())
+
+    @cached_property
+    def support_distances(self) -> np.ndarray:
+        """``D[v, j] = d(v, support[j])`` for the placement's support set."""
+        return self.topology.rtt[:, self.placement.support_set]
+
+    def augmented_delay_matrix(self, node_costs: np.ndarray) -> np.ndarray:
+        """``max_{w in f(Q_i)} (d(v, w) + node_costs[w])`` for all v, i.
+
+        This is equation (4.1) with ``node_costs = alpha * load_f``.
+        """
+        costs = np.asarray(node_costs, dtype=np.float64)
+        if costs.shape != (self.n_nodes,):
+            raise PlacementError(
+                f"node_costs must have shape ({self.n_nodes},), "
+                f"got {costs.shape}"
+            )
+        rtt = self.topology.rtt
+        rho = np.empty((self.n_nodes, self.num_quorums))
+        for i, nodes in enumerate(self.placed_quorums):
+            rho[:, i] = (rtt[:, nodes] + costs[nodes]).max(axis=1)
+        return rho
+
+    def __repr__(self) -> str:
+        return (
+            f"PlacedQuorumSystem({self.system.name!r}, "
+            f"support={self.placement.support_set.size}, "
+            f"n_nodes={self.n_nodes})"
+        )

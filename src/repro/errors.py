@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """A network topology is malformed (non-square matrix, negative RTTs...)."""
+
+
+class QuorumSystemError(ReproError):
+    """A quorum system definition is invalid (empty quorums, no intersection...)."""
+
+
+class PlacementError(ReproError):
+    """A placement is invalid or cannot be constructed (capacity too small...)."""
+
+
+class StrategyError(ReproError):
+    """An access strategy is invalid (probabilities do not sum to one...)."""
+
+
+class InfeasibleError(ReproError):
+    """An optimization problem admits no feasible solution.
+
+    Raised, for example, by the access-strategy LP when node capacities are
+    set below the quorum system's optimal load.
+    """
+
+
+class SolverError(ReproError):
+    """The underlying LP solver failed for a reason other than infeasibility."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation was misconfigured or reached a bad state."""

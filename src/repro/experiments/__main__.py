@@ -1,0 +1,48 @@
+"""CLI for regenerating the paper's figures.
+
+Usage::
+
+    python -m repro.experiments fig_6_3
+    python -m repro.experiments fig_7_6 --fast
+    python -m repro.experiments all --fast
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import FIGURES, run_figure
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(FIGURES) + ["all"],
+        help="figure id to regenerate, or 'all'",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="shrink parameter grids for a quick run",
+    )
+    args = parser.parse_args(argv)
+
+    targets = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    for figure_id in targets:
+        started = time.perf_counter()
+        result = run_figure(figure_id, fast=args.fast)
+        elapsed = time.perf_counter() - started
+        print(result.render_text())
+        print(f"   [{figure_id} took {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

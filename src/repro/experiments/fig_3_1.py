@@ -1,0 +1,99 @@
+"""Figure 3.1 — Q/U response time and network delay surface.
+
+The paper varies the universe size (``n = 5t + 1`` for ``t = 1..5``) and
+the number of clients (``c = 1..10`` clients at each of 10 sites) on the
+Planetlab-50 topology and plots average response time and average network
+delay. Each cell is the mean of several simulation repetitions with
+distinct seeds (the paper ran each experiment 5 times).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.series import FigureResult, Series
+from repro.network.datasets import planetlab_50
+from repro.network.graph import Topology
+from repro.sim.experiment import QUExperimentConfig, run_qu_experiment
+
+__all__ = ["run"]
+
+
+def _simulate_cell(
+    topology: Topology,
+    t: int,
+    clients_per_site: int,
+    duration_ms: float,
+    repetitions: int,
+) -> tuple[float, float]:
+    """Mean (response, network delay) over repetitions for one grid cell."""
+    responses, delays = [], []
+    for rep in range(repetitions):
+        config = QUExperimentConfig(
+            t=t,
+            clients_per_site=clients_per_site,
+            duration_ms=duration_ms,
+            warmup_ms=duration_ms * 0.2,
+            seed=1000 * t + 10 * clients_per_site + rep,
+        )
+        result = run_qu_experiment(topology, config)
+        responses.append(result.mean_response_ms)
+        delays.append(result.mean_network_delay_ms)
+    return float(np.mean(responses)), float(np.mean(delays))
+
+
+def run(
+    topology: Topology | None = None,
+    fast: bool = False,
+    t_values: tuple[int, ...] | None = None,
+    clients_per_site_values: tuple[int, ...] | None = None,
+    duration_ms: float | None = None,
+    repetitions: int | None = None,
+) -> FigureResult:
+    """Reproduce Figure 3.1.
+
+    Series are named ``response t=<t>`` and ``netdelay t=<t>`` with the
+    client count on the x axis, which reads the 3-D surface as one curve
+    per universe size.
+    """
+    if topology is None:
+        topology = planetlab_50()
+    if fast:
+        t_values = t_values or (1, 4)
+        clients_per_site_values = clients_per_site_values or (1, 5, 10)
+        duration_ms = duration_ms or 1500.0
+        repetitions = repetitions or 1
+    else:
+        t_values = t_values or (1, 2, 3, 4, 5)
+        clients_per_site_values = clients_per_site_values or tuple(
+            range(1, 11)
+        )
+        duration_ms = duration_ms or 2500.0
+        repetitions = repetitions or 2
+
+    series: list[Series] = []
+    for t in t_values:
+        xs, resp, net = [], [], []
+        for c in clients_per_site_values:
+            mean_resp, mean_net = _simulate_cell(
+                topology, t, c, duration_ms, repetitions
+            )
+            xs.append(10 * c)
+            resp.append(mean_resp)
+            net.append(mean_net)
+        n = 5 * t + 1
+        series.append(Series.from_arrays(f"response n={n}", xs, resp))
+        series.append(Series.from_arrays(f"netdelay n={n}", xs, net))
+
+    return FigureResult(
+        figure_id="fig_3_1",
+        title="Q/U response time & network delay vs universe size and clients",
+        x_label="clients",
+        y_label="ms",
+        series=tuple(series),
+        metadata={
+            "topology": "planetlab-50",
+            "repetitions": repetitions,
+            "duration_ms": duration_ms,
+        },
+    )

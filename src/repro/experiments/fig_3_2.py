@@ -1,0 +1,91 @@
+"""Figure 3.2 — Q/U slices of the Section-3 surface.
+
+(a) 100 clients fixed, faults ``t`` (and hence universe size ``5t+1``) on
+the x axis; (b) ``t = 4`` (n = 21) fixed, client count on the x axis. Both
+plot average network delay (black bars) and average response time (total
+bars); we emit the same two series per slice.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig_3_1 import _simulate_cell
+from repro.experiments.series import FigureResult, Series
+from repro.network.datasets import planetlab_50
+from repro.network.graph import Topology
+
+__all__ = ["run_a", "run_b", "run"]
+
+
+def run_a(
+    topology: Topology | None = None,
+    fast: bool = False,
+    duration_ms: float | None = None,
+    repetitions: int | None = None,
+) -> FigureResult:
+    """Figure 3.2a: 100 clients, sweep the fault parameter ``t``."""
+    if topology is None:
+        topology = planetlab_50()
+    t_values = (1, 3, 5) if fast else (1, 2, 3, 4, 5)
+    duration_ms = duration_ms or (1500.0 if fast else 2500.0)
+    repetitions = repetitions or (1 if fast else 2)
+
+    xs, resp, net = [], [], []
+    for t in t_values:
+        mean_resp, mean_net = _simulate_cell(
+            topology, t, 10, duration_ms, repetitions
+        )
+        xs.append(t)
+        resp.append(mean_resp)
+        net.append(mean_net)
+    return FigureResult(
+        figure_id="fig_3_2a",
+        title="Q/U at 100 clients vs number of faults t (n = 5t+1)",
+        x_label="faults t",
+        y_label="ms",
+        series=(
+            Series.from_arrays("network delay", xs, net),
+            Series.from_arrays("response time", xs, resp),
+        ),
+        metadata={"topology": "planetlab-50", "clients": 100},
+    )
+
+
+def run_b(
+    topology: Topology | None = None,
+    fast: bool = False,
+    duration_ms: float | None = None,
+    repetitions: int | None = None,
+) -> FigureResult:
+    """Figure 3.2b: t = 4 (n = 21), sweep the client count."""
+    if topology is None:
+        topology = planetlab_50()
+    c_values = (1, 5, 10) if fast else tuple(range(1, 11))
+    duration_ms = duration_ms or (1500.0 if fast else 2500.0)
+    repetitions = repetitions or (1 if fast else 2)
+
+    xs, resp, net = [], [], []
+    for c in c_values:
+        mean_resp, mean_net = _simulate_cell(
+            topology, 4, c, duration_ms, repetitions
+        )
+        xs.append(10 * c)
+        resp.append(mean_resp)
+        net.append(mean_net)
+    return FigureResult(
+        figure_id="fig_3_2b",
+        title="Q/U at t=4 (n=21) vs number of clients",
+        x_label="clients",
+        y_label="ms",
+        series=(
+            Series.from_arrays("network delay", xs, net),
+            Series.from_arrays("response time", xs, resp),
+        ),
+        metadata={"topology": "planetlab-50", "t": 4},
+    )
+
+
+def run(
+    topology: Topology | None = None, fast: bool = False
+) -> tuple[FigureResult, FigureResult]:
+    """Both slices, as the paper presents them side by side."""
+    return run_a(topology, fast=fast), run_b(topology, fast=fast)

@@ -1,0 +1,94 @@
+"""Figure 6.3 — response time vs universe size under low demand.
+
+Planetlab-50, ``alpha = 0``, closest access strategy, one-to-one placements
+(best-``v0`` search). One curve per quorum system — the three Majority
+families and the Grid — plus the singleton floor. The paper's headline
+observations: smaller quorums win; large Majorities hit a critical point;
+small-quorum systems track the singleton up to a sizable universe.
+"""
+
+from __future__ import annotations
+
+from repro.core.response_time import evaluate
+from repro.core.strategy import ExplicitStrategy
+from repro.experiments.series import FigureResult, Series
+from repro.network.datasets import planetlab_50
+from repro.network.graph import Topology
+from repro.placement.search import best_placement
+from repro.placement.singleton import singleton_placement
+from repro.quorums.grid import GridQuorumSystem
+from repro.quorums.threshold import (
+    MajorityKind,
+    majority,
+    majority_universe_sizes,
+)
+from repro.strategies.simple import closest_strategy
+
+__all__ = ["run"]
+
+
+def _closest_delay(topology: Topology, system) -> float:
+    placed = best_placement(topology, system).placed
+    return evaluate(placed, closest_strategy(placed)).avg_network_delay
+
+
+def run(
+    topology: Topology | None = None,
+    fast: bool = False,
+    max_universe: int | None = None,
+) -> FigureResult:
+    """Reproduce Figure 6.3 (response time == network delay, alpha = 0)."""
+    if topology is None:
+        topology = planetlab_50()
+    if max_universe is None:
+        max_universe = min(49, topology.n_nodes - 1)
+
+    series: list[Series] = []
+
+    # Majorities: one point per t with n = universe size <= max_universe.
+    for kind in MajorityKind:
+        sizes = majority_universe_sizes(kind, max_universe)
+        if fast:
+            sizes = sizes[::3] or sizes[:1]
+        xs, ys = [], []
+        t_of = {v: i + 1 for i, v in enumerate(
+            majority_universe_sizes(kind, max_universe)
+        )}
+        for n in sizes:
+            system = majority(kind, t_of[n])
+            xs.append(n)
+            ys.append(_closest_delay(topology, system))
+        series.append(
+            Series.from_arrays(f"Majority {kind.value}", xs, ys)
+        )
+
+    # Grid: k = 2 .. floor(sqrt(max_universe)).
+    ks = range(2, int(max_universe**0.5) + 1)
+    if fast:
+        ks = list(ks)[::2] or list(ks)[:1]
+    xs, ys = [], []
+    for k in ks:
+        xs.append(k * k)
+        ys.append(_closest_delay(topology, GridQuorumSystem(k)))
+    series.append(Series.from_arrays("Grid", xs, ys))
+
+    # Singleton: a flat reference line across the x range.
+    sing = singleton_placement(topology)
+    sing_delay = evaluate(
+        sing, ExplicitStrategy.uniform(sing)
+    ).avg_network_delay
+    all_x = sorted({x for s in series for x in s.x})
+    series.append(
+        Series.from_arrays(
+            "Singleton", all_x, [sing_delay] * len(all_x)
+        )
+    )
+
+    return FigureResult(
+        figure_id="fig_6_3",
+        title="Response time vs universe size (alpha=0, closest strategy)",
+        x_label="universe size",
+        y_label="ms",
+        series=tuple(series),
+        metadata={"topology": "planetlab-50", "alpha": 0.0},
+    )

@@ -1,0 +1,67 @@
+"""Figure 6.5 — Grid at demand 16000 on daxlist-161.
+
+Network delay and response time for both strategies on one plot. The
+paper's key effect: with load dominating, the balanced strategy's response
+time *decreases* as the universe grows (dispersion beats the extra network
+delay), while closest — with no balancing guarantee — does not enjoy this.
+"""
+
+from __future__ import annotations
+
+from repro.core.response_time import alpha_from_demand, evaluate
+from repro.experiments.fig_6_4 import grid_sides_for
+from repro.experiments.series import FigureResult, Series
+from repro.network.datasets import daxlist_161
+from repro.network.graph import Topology
+from repro.placement.search import best_placement
+from repro.quorums.grid import GridQuorumSystem
+from repro.strategies.simple import balanced_strategy, closest_strategy
+
+__all__ = ["run"]
+
+
+def run(
+    topology: Topology | None = None,
+    fast: bool = False,
+    demand: int = 16000,
+) -> FigureResult:
+    """Reproduce Figure 6.5."""
+    if topology is None:
+        topology = daxlist_161()
+    ks = grid_sides_for(topology, fast=fast)
+    alpha = alpha_from_demand(demand)
+
+    series_data: dict[str, tuple[list[float], list[float]]] = {
+        "netdelay closest": ([], []),
+        "response closest": ([], []),
+        "netdelay balanced": ([], []),
+        "response balanced": ([], []),
+    }
+    for k in ks:
+        placed = best_placement(topology, GridQuorumSystem(k)).placed
+        n = k * k
+        for label, factory in (
+            ("closest", closest_strategy),
+            ("balanced", balanced_strategy),
+        ):
+            result = evaluate(placed, factory(placed), alpha=alpha)
+            series_data[f"netdelay {label}"][0].append(n)
+            series_data[f"netdelay {label}"][1].append(
+                result.avg_network_delay
+            )
+            series_data[f"response {label}"][0].append(n)
+            series_data[f"response {label}"][1].append(
+                result.avg_response_time
+            )
+
+    return FigureResult(
+        figure_id="fig_6_5",
+        title=f"Grid with client demand = {demand} (daxlist-161)",
+        x_label="universe size",
+        y_label="ms",
+        series=tuple(
+            Series.from_arrays(label, xs, ys)
+            for label, (xs, ys) in series_data.items()
+        ),
+        metadata={"topology": "daxlist-161", "demand": demand},
+    )

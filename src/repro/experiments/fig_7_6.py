@@ -1,0 +1,67 @@
+"""Figure 7.6 — Grid response/delay vs (universe size, uniform capacity).
+
+Planetlab-50, demand 16000. For every Grid universe and every capacity
+level ``c_i = L_opt + i (1 - L_opt)/10``, LP (4.3)-(4.6) is solved with all
+capacities equal to ``c_i`` and the resulting strategies are evaluated.
+Raising capacities lets clients use closer quorums (network delay falls)
+but concentrates load (response time rises under high demand).
+"""
+
+from __future__ import annotations
+
+from repro.core.response_time import alpha_from_demand
+from repro.experiments.series import FigureResult, Series
+from repro.network.datasets import planetlab_50
+from repro.network.graph import Topology
+from repro.placement.search import best_placement
+from repro.quorums.grid import GridQuorumSystem
+from repro.quorums.load_analysis import optimal_load
+from repro.strategies.capacity_sweep import (
+    capacity_levels,
+    sweep_uniform_capacities,
+)
+
+__all__ = ["run"]
+
+
+def run(
+    topology: Topology | None = None,
+    fast: bool = False,
+    demand: int = 16000,
+    grid_sides: tuple[int, ...] | None = None,
+    capacity_steps: int | None = None,
+) -> FigureResult:
+    """Reproduce Figure 7.6 (one response and one delay curve per k)."""
+    if topology is None:
+        topology = planetlab_50()
+    if grid_sides is None:
+        max_k = int(min(49, topology.n_nodes - 1) ** 0.5)
+        grid_sides = (2, 4, 7) if fast else tuple(range(2, max_k + 1))
+    capacity_steps = capacity_steps or (5 if fast else 10)
+    alpha = alpha_from_demand(demand)
+
+    series: list[Series] = []
+    for k in grid_sides:
+        system = GridQuorumSystem(k)
+        placed = best_placement(topology, system).placed
+        levels = capacity_levels(optimal_load(system).l_opt, capacity_steps)
+        sweep = sweep_uniform_capacities(placed, alpha, levels=levels)
+        series.append(
+            Series.from_arrays(
+                f"response n={k * k}", sweep.capacities, sweep.response_times
+            )
+        )
+        series.append(
+            Series.from_arrays(
+                f"netdelay n={k * k}", sweep.capacities, sweep.network_delays
+            )
+        )
+
+    return FigureResult(
+        figure_id="fig_7_6",
+        title=f"Grid under uniform capacity sweep, demand={demand}",
+        x_label="node capacity",
+        y_label="ms",
+        series=tuple(series),
+        metadata={"topology": "planetlab-50", "demand": demand},
+    )

@@ -1,0 +1,68 @@
+"""Figure 7.8 — the 7x7 Grid (n = 49) capacity slice.
+
+The fixed-universe slice of Figure 7.7: network delay, uniform-capacity
+response time and non-uniform-capacity response time against the capacity
+level, at demand 16000 on Planetlab-50. Response time rises with capacity
+(load concentrates under high demand) but more slowly for the non-uniform
+heuristic.
+"""
+
+from __future__ import annotations
+
+from repro.core.response_time import alpha_from_demand
+from repro.experiments.series import FigureResult, Series
+from repro.network.datasets import planetlab_50
+from repro.network.graph import Topology
+from repro.placement.search import best_placement
+from repro.quorums.grid import GridQuorumSystem
+from repro.quorums.load_analysis import optimal_load
+from repro.strategies.capacity_sweep import (
+    capacity_levels,
+    sweep_uniform_capacities,
+)
+from repro.strategies.nonuniform import sweep_nonuniform_capacities
+
+__all__ = ["run"]
+
+
+def run(
+    topology: Topology | None = None,
+    fast: bool = False,
+    demand: int = 16000,
+    k: int = 7,
+    capacity_steps: int | None = None,
+) -> FigureResult:
+    """Reproduce Figure 7.8."""
+    if topology is None:
+        topology = planetlab_50()
+    capacity_steps = capacity_steps or (5 if fast else 10)
+    alpha = alpha_from_demand(demand)
+
+    system = GridQuorumSystem(k)
+    placed = best_placement(topology, system).placed
+    levels = capacity_levels(optimal_load(system).l_opt, capacity_steps)
+    uniform = sweep_uniform_capacities(placed, alpha, levels=levels)
+    nonuniform = sweep_nonuniform_capacities(placed, alpha, levels=levels)
+
+    return FigureResult(
+        figure_id="fig_7_8",
+        title=f"{k}x{k} Grid capacity slice, demand={demand}",
+        x_label="node capacity",
+        y_label="ms",
+        series=(
+            Series.from_arrays(
+                "network delay", uniform.capacities, uniform.network_delays
+            ),
+            Series.from_arrays(
+                "response uniform",
+                uniform.capacities,
+                uniform.response_times,
+            ),
+            Series.from_arrays(
+                "response nonuniform",
+                nonuniform.gammas,
+                nonuniform.response_times,
+            ),
+        ),
+        metadata={"topology": "planetlab-50", "demand": demand, "k": k},
+    )

@@ -1,0 +1,45 @@
+"""Registry mapping figure ids to runners."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.experiments import (
+    fig_3_1,
+    fig_3_2,
+    fig_6_3,
+    fig_6_4,
+    fig_6_5,
+    fig_7_6,
+    fig_7_7,
+    fig_7_8,
+    fig_8_9,
+)
+from repro.experiments.series import FigureResult
+
+__all__ = ["FIGURES", "run_figure"]
+
+FIGURES: dict[str, Callable[..., FigureResult]] = {
+    "fig_3_1": fig_3_1.run,
+    "fig_3_2a": fig_3_2.run_a,
+    "fig_3_2b": fig_3_2.run_b,
+    "fig_6_3": fig_6_3.run,
+    "fig_6_4": fig_6_4.run,
+    "fig_6_5": fig_6_5.run,
+    "fig_7_6": fig_7_6.run,
+    "fig_7_7": fig_7_7.run,
+    "fig_7_8": fig_7_8.run,
+    "fig_8_9": fig_8_9.run,
+}
+
+
+def run_figure(figure_id: str, fast: bool = False, **kwargs) -> FigureResult:
+    """Run one figure's experiment by id (e.g. ``"fig_6_3"``)."""
+    try:
+        runner = FIGURES[figure_id]
+    except KeyError:
+        raise ReproError(
+            f"unknown figure {figure_id!r}; available: {sorted(FIGURES)}"
+        ) from None
+    return runner(fast=fast, **kwargs)

@@ -1,0 +1,14 @@
+"""Sparse linear-programming layer.
+
+The paper implemented its LPs in GNU MathProg and solved them with
+``glpsol`` 4.8 (limited to 100,000 constraints). This package provides the
+equivalent substrate on ``scipy.optimize.linprog`` (HiGHS): a builder for
+sparse LPs (:class:`~repro.lp.problem.LinearProgram`) and a solver wrapper
+that converts solver statuses into the library's exceptions
+(:func:`~repro.lp.solver.solve`).
+"""
+
+from repro.lp.problem import LinearProgram
+from repro.lp.solver import LPSolution, solve
+
+__all__ = ["LinearProgram", "LPSolution", "solve"]

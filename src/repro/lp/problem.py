@@ -1,0 +1,190 @@
+"""Incremental sparse LP builder.
+
+:class:`LinearProgram` accumulates variables, objective coefficients and
+constraints (as COO triplets) and produces the arrays
+``scipy.optimize.linprog`` consumes. Variables are created in named blocks so
+callers can recover structured solutions (e.g. the ``x[u, w]`` placement
+block and the ``z[Q]`` delay block of the fractional-placement LP) without
+tracking flat indices by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import SolverError
+
+__all__ = ["LinearProgram", "VariableBlock"]
+
+
+@dataclass(frozen=True)
+class VariableBlock:
+    """A contiguous block of LP variables.
+
+    ``offset`` is the index of the first variable; ``shape`` is the logical
+    shape of the block. :meth:`index` maps a multi-index to a flat variable
+    index in C order.
+    """
+
+    name: str
+    offset: int
+    shape: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape))
+
+    def index(self, *multi_index: int) -> int:
+        """Flat variable index of an entry of the block."""
+        if len(multi_index) != len(self.shape):
+            raise SolverError(
+                f"block {self.name!r} expects {len(self.shape)} indices, "
+                f"got {len(multi_index)}"
+            )
+        flat = int(np.ravel_multi_index(multi_index, self.shape))
+        return self.offset + flat
+
+    def reshape(self, x: np.ndarray) -> np.ndarray:
+        """Extract this block from a flat solution vector."""
+        return x[self.offset : self.offset + self.size].reshape(self.shape)
+
+
+@dataclass
+class _Triplets:
+    rows: list[int] = field(default_factory=list)
+    cols: list[int] = field(default_factory=list)
+    vals: list[float] = field(default_factory=list)
+    rhs: list[float] = field(default_factory=list)
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.rhs)
+
+    def add_row(self, cols: list[int], vals: list[float], rhs: float) -> int:
+        if len(cols) != len(vals):
+            raise SolverError("constraint columns and values length mismatch")
+        row = len(self.rhs)
+        self.rows.extend([row] * len(cols))
+        self.cols.extend(cols)
+        self.vals.extend(vals)
+        self.rhs.append(rhs)
+        return row
+
+    def matrix(self, n_vars: int) -> sparse.csr_matrix | None:
+        if not self.rhs:
+            return None
+        return sparse.coo_matrix(
+            (self.vals, (self.rows, self.cols)),
+            shape=(self.n_rows, n_vars),
+        ).tocsr()
+
+
+class LinearProgram:
+    """A minimization LP built incrementally.
+
+    Usage::
+
+        lp = LinearProgram()
+        x = lp.add_block("x", (n, m), lower=0.0)
+        lp.set_objective(x.index(i, j), c_ij)
+        lp.add_le([x.index(i, j), ...], [a, ...], b)     # a'x <= b
+        lp.add_eq([...], [...], b)                       # a'x == b
+        arrays = lp.build()
+    """
+
+    def __init__(self) -> None:
+        self._blocks: dict[str, VariableBlock] = {}
+        self._n_vars = 0
+        self._objective: dict[int, float] = {}
+        self._lower: list[float] = []
+        self._upper: list[float] = []
+        self._le = _Triplets()
+        self._eq = _Triplets()
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+    def add_block(
+        self,
+        name: str,
+        shape: tuple[int, ...] | int,
+        lower: float = 0.0,
+        upper: float = np.inf,
+    ) -> VariableBlock:
+        """Create a named block of variables with uniform bounds."""
+        if name in self._blocks:
+            raise SolverError(f"duplicate variable block {name!r}")
+        if isinstance(shape, int):
+            shape = (shape,)
+        block = VariableBlock(name=name, offset=self._n_vars, shape=shape)
+        if block.size <= 0:
+            raise SolverError(f"variable block {name!r} must be non-empty")
+        self._blocks[name] = block
+        self._n_vars += block.size
+        self._lower.extend([lower] * block.size)
+        self._upper.extend([upper] * block.size)
+        return block
+
+    def block(self, name: str) -> VariableBlock:
+        """Look up a block by name."""
+        try:
+            return self._blocks[name]
+        except KeyError:
+            raise SolverError(f"unknown variable block {name!r}") from None
+
+    @property
+    def n_variables(self) -> int:
+        return self._n_vars
+
+    @property
+    def n_constraints(self) -> int:
+        return self._le.n_rows + self._eq.n_rows
+
+    # ------------------------------------------------------------------
+    # Objective and constraints
+    # ------------------------------------------------------------------
+    def set_objective(self, var: int, coefficient: float) -> None:
+        """Set (accumulate) the objective coefficient of one variable."""
+        self._objective[var] = self._objective.get(var, 0.0) + coefficient
+
+    def set_objective_many(
+        self, variables: list[int], coefficients: list[float]
+    ) -> None:
+        """Accumulate objective coefficients for many variables at once."""
+        for var, coef in zip(variables, coefficients):
+            self.set_objective(var, coef)
+
+    def add_le(
+        self, variables: list[int], coefficients: list[float], rhs: float
+    ) -> int:
+        """Add an inequality ``sum coef*var <= rhs``; returns the row index."""
+        return self._le.add_row(variables, coefficients, rhs)
+
+    def add_eq(
+        self, variables: list[int], coefficients: list[float], rhs: float
+    ) -> int:
+        """Add an equality ``sum coef*var == rhs``; returns the row index."""
+        return self._eq.add_row(variables, coefficients, rhs)
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    def build(self) -> dict:
+        """Arrays for :func:`scipy.optimize.linprog` (method ``highs``)."""
+        if self._n_vars == 0:
+            raise SolverError("LP has no variables")
+        c = np.zeros(self._n_vars)
+        for var, coef in self._objective.items():
+            c[var] = coef
+        bounds = np.column_stack([self._lower, self._upper])
+        return {
+            "c": c,
+            "A_ub": self._le.matrix(self._n_vars),
+            "b_ub": np.asarray(self._le.rhs) if self._le.rhs else None,
+            "A_eq": self._eq.matrix(self._n_vars),
+            "b_eq": np.asarray(self._eq.rhs) if self._eq.rhs else None,
+            "bounds": bounds,
+        }

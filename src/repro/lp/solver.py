@@ -1,0 +1,60 @@
+"""LP solving on top of ``scipy.optimize.linprog`` (HiGHS).
+
+Solver statuses are mapped onto the library's exception hierarchy:
+infeasibility raises :class:`~repro.errors.InfeasibleError` (the paper notes
+the access-strategy LP "might not exist if, e.g., the node capacities are set
+too low"), anything else unexpected raises
+:class:`~repro.errors.SolverError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import InfeasibleError, SolverError
+from repro.lp.problem import LinearProgram
+
+__all__ = ["LPSolution", "solve"]
+
+_STATUS_INFEASIBLE = 2
+_STATUS_UNBOUNDED = 3
+
+
+@dataclass(frozen=True)
+class LPSolution:
+    """Solution of a :class:`~repro.lp.problem.LinearProgram`.
+
+    ``x`` is the flat solution vector; use the program's variable blocks to
+    reshape it. ``objective`` is the attained minimum.
+    """
+
+    x: np.ndarray
+    objective: float
+
+    def block_values(self, program: LinearProgram, name: str) -> np.ndarray:
+        """Extract one named variable block from the solution."""
+        return program.block(name).reshape(self.x)
+
+
+def solve(program: LinearProgram) -> LPSolution:
+    """Minimize the program; raise on infeasibility or solver failure."""
+    arrays = program.build()
+    result = linprog(
+        arrays["c"],
+        A_ub=arrays["A_ub"],
+        b_ub=arrays["b_ub"],
+        A_eq=arrays["A_eq"],
+        b_eq=arrays["b_eq"],
+        bounds=arrays["bounds"],
+        method="highs",
+    )
+    if result.status == _STATUS_INFEASIBLE:
+        raise InfeasibleError("linear program is infeasible")
+    if result.status == _STATUS_UNBOUNDED:
+        raise SolverError("linear program is unbounded")
+    if not result.success:
+        raise SolverError(f"LP solver failed: {result.message}")
+    return LPSolution(x=np.asarray(result.x), objective=float(result.fun))

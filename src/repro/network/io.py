@@ -1,0 +1,78 @@
+"""Saving and loading RTT matrices.
+
+Two formats are supported:
+
+* ``.npz`` — compressed numpy archive with the RTT matrix, node names and
+  capacities; lossless round trip.
+* ``.txt`` — whitespace-separated matrix, one row per line, with optional
+  ``# name`` header lines; the format used by public RTT datasets such as
+  the PlanetLab all-pairs-ping dumps.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.network.graph import Topology
+
+__all__ = ["save_rtt_matrix", "load_rtt_matrix"]
+
+
+def save_rtt_matrix(topology: Topology, path: str | Path) -> None:
+    """Serialize a topology to ``.npz`` or ``.txt`` based on the suffix."""
+    path = Path(path)
+    if path.suffix == ".npz":
+        np.savez_compressed(
+            path,
+            rtt=topology.rtt,
+            names=np.array(topology.names),
+            capacities=topology.capacities,
+        )
+    elif path.suffix == ".txt":
+        with path.open("w") as fh:
+            for name in topology.names:
+                fh.write(f"# {name}\n")
+            for row in topology.rtt:
+                fh.write(" ".join(f"{x:.6f}" for x in row))
+                fh.write("\n")
+    else:
+        raise TopologyError(
+            f"unsupported topology file suffix: {path.suffix!r}"
+        )
+
+
+def load_rtt_matrix(path: str | Path, metric_closure: bool = True) -> Topology:
+    """Load a topology previously saved with :func:`save_rtt_matrix`."""
+    path = Path(path)
+    if not path.exists():
+        raise TopologyError(f"topology file not found: {path}")
+    if path.suffix == ".npz":
+        with np.load(path, allow_pickle=False) as data:
+            return Topology(
+                data["rtt"],
+                names=[str(s) for s in data["names"]],
+                capacities=data["capacities"],
+                metric_closure=metric_closure,
+            )
+    if path.suffix == ".txt":
+        names: list[str] = []
+        rows: list[list[float]] = []
+        with path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    names.append(line[1:].strip())
+                else:
+                    rows.append([float(tok) for tok in line.split()])
+        matrix = np.asarray(rows, dtype=np.float64)
+        return Topology(
+            matrix,
+            names=names or None,
+            metric_closure=metric_closure,
+        )
+    raise TopologyError(f"unsupported topology file suffix: {path.suffix!r}")

@@ -1,0 +1,70 @@
+"""Lin–Vitter filtering (Section 4.1.2, second stage).
+
+Given the fractional placement ``x`` for client ``v0``, filtering removes
+assignments to nodes "too far" from the client: with per-element fractional
+distance ``D_u = sum_w d(v0, w) x[u, w]``, every entry with
+``d(v0, w) > (1 + eps) D_u`` is zeroed and the row renormalized. By Markov's
+inequality at least ``eps / (1 + eps)`` of each row's mass survives, so
+renormalization inflates capacities by at most ``(1 + eps) / eps`` — the
+"small constant factor" by which the final placement may exceed node
+capacities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PlacementError
+
+__all__ = ["lin_vitter_filter"]
+
+
+def lin_vitter_filter(
+    x: np.ndarray,
+    dist_from_v0: np.ndarray,
+    eps: float = 1.0 / 3.0,
+) -> np.ndarray:
+    """Filter and renormalize a fractional placement.
+
+    Parameters
+    ----------
+    x:
+        Fractional assignment, shape (universe, nodes); rows sum to one.
+    dist_from_v0:
+        Distance vector from the designated client to every node.
+    eps:
+        Filtering parameter; larger values keep more distant assignments
+        (violating capacities less) at the price of a weaker distance bound.
+
+    Returns
+    -------
+    numpy.ndarray
+        Filtered assignment with rows summing to one and support only on
+        nodes within ``(1 + eps) D_u`` of the client.
+    """
+    if eps <= 0:
+        raise PlacementError("filtering parameter eps must be positive")
+    frac = np.asarray(x, dtype=np.float64)
+    dist = np.asarray(dist_from_v0, dtype=np.float64)
+    if frac.ndim != 2 or frac.shape[1] != dist.shape[0]:
+        raise PlacementError(
+            f"x of shape {frac.shape} incompatible with "
+            f"{dist.shape[0]} node distances"
+        )
+    row_sums = frac.sum(axis=1)
+    if not np.allclose(row_sums, 1.0, atol=1e-6):
+        raise PlacementError("fractional placement rows must sum to one")
+
+    fractional_distance = frac @ dist
+    # Nodes within the filtering radius of each element. Elements whose
+    # fractional distance is ~0 sit entirely on distance-0 nodes; keep any
+    # node at distance 0 for them (the tolerance guards float dust).
+    radius = (1.0 + eps) * fractional_distance
+    keep = dist[None, :] <= radius[:, None] + 1e-12
+    filtered = np.where(keep, frac, 0.0)
+    new_sums = filtered.sum(axis=1)
+    if np.any(new_sums <= 0):
+        raise PlacementError(
+            "filtering removed all mass for some element; eps too small"
+        )
+    return filtered / new_sums[:, None]

@@ -1,0 +1,147 @@
+"""Fractional many-to-one placement LP (Section 4.1.2, first stage).
+
+Variables ``x[u, w]`` give the fraction of element ``u`` placed on node
+``w``; auxiliary variables ``z[i]`` upper-bound the (fractional) delay of
+quorum ``Q_i`` from the designated client ``v0``:
+
+``min  sum_i p(Q_i) * z_i``
+
+``s.t. sum_w d(v0, w) x[u, w] <= z_i      for all i, u in Q_i``
+``     sum_w x[u, w] = 1                  for all u``
+``     sum_u load_p(u) x[u, w] <= cap(w)  for all w``
+``     x >= 0``
+
+For an integral ``x`` the objective equals the true quorum delay
+``max_{u in Q_i} d(v0, f(u))``, so this is a valid relaxation of the
+single-client placement problem; ``load_p(u)`` is the element load induced
+by the global strategy ``p``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PlacementError
+from repro.lp import LinearProgram, solve
+from repro.network.graph import Topology
+from repro.quorums.base import QuorumSystem
+
+__all__ = ["FractionalPlacement", "fractional_placement", "element_loads_of_strategy"]
+
+
+def element_loads_of_strategy(
+    system: QuorumSystem, strategy: np.ndarray
+) -> np.ndarray:
+    """``load_p(u) = sum_{Q_i ni u} p_i`` for every element."""
+    p = np.asarray(strategy, dtype=np.float64)
+    if p.shape != (system.num_quorums,):
+        raise PlacementError(
+            f"strategy must cover {system.num_quorums} quorums"
+        )
+    loads = np.zeros(system.universe_size)
+    for i, quorum in enumerate(system.quorums):
+        if p[i] == 0.0:
+            continue
+        for u in quorum:
+            loads[u] += p[i]
+    return loads
+
+
+@dataclass(frozen=True)
+class FractionalPlacement:
+    """Solution of the fractional placement LP.
+
+    ``x[u, w]`` is the fractional assignment; ``quorum_delays[i]`` the LP's
+    delay bound per quorum; ``objective`` the expected fractional delay for
+    the designated client.
+    """
+
+    v0: int
+    x: np.ndarray
+    quorum_delays: np.ndarray
+    objective: float
+    element_loads: np.ndarray
+
+    def fractional_distance(self, dist_from_v0: np.ndarray) -> np.ndarray:
+        """``D_u = sum_w d(v0, w) x[u, w]`` per element."""
+        return self.x @ dist_from_v0
+
+
+def fractional_placement(
+    topology: Topology,
+    system: QuorumSystem,
+    v0: int,
+    capacities: np.ndarray | None = None,
+    strategy: np.ndarray | None = None,
+) -> FractionalPlacement:
+    """Solve the fractional placement LP for client ``v0``.
+
+    Parameters
+    ----------
+    topology:
+        The network; all its nodes are candidate hosts.
+    system:
+        An enumerable quorum system.
+    v0:
+        The designated client whose expected delay is minimized.
+    capacities:
+        Per-node capacities; defaults to the topology's.
+    strategy:
+        Global access strategy ``p``; defaults to uniform over quorums.
+    """
+    if not system.is_enumerable:
+        raise PlacementError(
+            f"{system.name} is not enumerable; the placement LP needs "
+            "explicit quorums"
+        )
+    n = system.universe_size
+    n_nodes = topology.n_nodes
+    m = system.num_quorums
+    if not 0 <= v0 < n_nodes:
+        raise PlacementError(f"v0={v0} outside topology")
+    caps = (
+        topology.capacities
+        if capacities is None
+        else np.asarray(capacities, dtype=np.float64)
+    )
+    if caps.shape != (n_nodes,):
+        raise PlacementError(
+            f"capacities must have shape ({n_nodes},), got {caps.shape}"
+        )
+    p = (
+        np.full(m, 1.0 / m)
+        if strategy is None
+        else np.asarray(strategy, dtype=np.float64)
+    )
+    loads = element_loads_of_strategy(system, p)
+    dist = topology.distances_from(v0)
+
+    lp = LinearProgram()
+    x = lp.add_block("x", (n, n_nodes), lower=0.0, upper=1.0)
+    z = lp.add_block("z", m, lower=0.0)
+    for i in range(m):
+        lp.set_objective(z.index(i), float(p[i]))
+
+    node_cols = list(range(n_nodes))
+    dist_vals = dist.tolist()
+    for i, quorum in enumerate(system.quorums):
+        for u in quorum:
+            cols = [x.index(u, w) for w in node_cols] + [z.index(i)]
+            vals = dist_vals + [-1.0]
+            lp.add_le(cols, vals, 0.0)
+    for u in range(n):
+        lp.add_eq([x.index(u, w) for w in node_cols], [1.0] * n_nodes, 1.0)
+    for w in range(n_nodes):
+        cols = [x.index(u, w) for u in range(n)]
+        lp.add_le(cols, loads.tolist(), float(caps[w]))
+
+    solution = solve(lp)
+    return FractionalPlacement(
+        v0=v0,
+        x=solution.block_values(lp, "x"),
+        quorum_delays=solution.block_values(lp, "z"),
+        objective=solution.objective,
+        element_loads=loads,
+    )

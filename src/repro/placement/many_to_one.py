@@ -1,0 +1,135 @@
+"""The full many-to-one placement pipeline (Section 4.1.2).
+
+``many_to_one_placement`` chains the three stages for a single designated
+client: fractional LP -> Lin–Vitter filtering -> GAP rounding. As with the
+one-to-one algorithms, the best placement overall is found by running the
+single-client algorithm from every node and keeping the placement with the
+smallest average network delay over all clients
+(:func:`best_many_to_one_placement`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.placement import PlacedQuorumSystem, Placement
+from repro.errors import InfeasibleError, PlacementError
+from repro.network.graph import Topology
+from repro.placement.filtering import lin_vitter_filter
+from repro.placement.fractional import fractional_placement
+from repro.placement.gap import round_fractional_placement
+from repro.quorums.base import QuorumSystem
+
+__all__ = [
+    "many_to_one_placement",
+    "best_many_to_one_placement",
+    "ManyToOneSearchResult",
+]
+
+
+def many_to_one_placement(
+    topology: Topology,
+    system: QuorumSystem,
+    v0: int,
+    capacities: np.ndarray | None = None,
+    strategy: np.ndarray | None = None,
+    eps: float = 1.0 / 3.0,
+) -> Placement:
+    """LP + filter + round for designated client ``v0``.
+
+    Raises :class:`~repro.errors.InfeasibleError` when the capacities admit
+    no fractional placement at all.
+    """
+    frac = fractional_placement(
+        topology, system, v0, capacities=capacities, strategy=strategy
+    )
+    dist = topology.distances_from(v0)
+    filtered = lin_vitter_filter(frac.x, dist, eps=eps)
+    return round_fractional_placement(filtered, dist, frac.element_loads)
+
+
+@dataclass(frozen=True)
+class ManyToOneSearchResult:
+    """Outcome of the best-``v0`` search for many-to-one placements."""
+
+    placed: PlacedQuorumSystem
+    v0: int
+    avg_network_delay: float
+    delays_by_candidate: dict[int, float]
+
+
+def _average_delay_under_global_strategy(
+    placed: PlacedQuorumSystem, strategy: np.ndarray, clients: np.ndarray
+) -> float:
+    """avg over clients of sum_i p_i * delta_f(v, Q_i)."""
+    delta = placed.delay_matrix[clients]
+    return float((delta @ strategy).mean())
+
+
+def best_many_to_one_placement(
+    topology: Topology,
+    system: QuorumSystem,
+    capacities: np.ndarray | None = None,
+    strategy: np.ndarray | None = None,
+    eps: float = 1.0 / 3.0,
+    candidates: object = None,
+    clients: object = None,
+) -> ManyToOneSearchResult:
+    """Run :func:`many_to_one_placement` from candidate clients, keep the best.
+
+    Candidates infeasible under the given capacities are skipped; if every
+    candidate is infeasible, :class:`~repro.errors.InfeasibleError` is
+    raised (e.g. capacities summed below the total system load).
+    """
+    if candidates is None:
+        candidate_idx = np.arange(topology.n_nodes)
+    else:
+        candidate_idx = np.asarray(candidates, dtype=np.intp)
+    if clients is None:
+        client_idx = np.arange(topology.n_nodes)
+    else:
+        client_idx = np.asarray(clients, dtype=np.intp)
+    if strategy is None:
+        p = np.full(system.num_quorums, 1.0 / system.num_quorums)
+    else:
+        p = np.asarray(strategy, dtype=np.float64)
+
+    best: ManyToOneSearchResult | None = None
+    delays: dict[int, float] = {}
+    infeasible = 0
+    for v0 in candidate_idx:
+        try:
+            placement = many_to_one_placement(
+                topology,
+                system,
+                int(v0),
+                capacities=capacities,
+                strategy=p,
+                eps=eps,
+            )
+        except InfeasibleError:
+            infeasible += 1
+            continue
+        placed = PlacedQuorumSystem(system, placement, topology)
+        delay = _average_delay_under_global_strategy(placed, p, client_idx)
+        delays[int(v0)] = delay
+        if best is None or delay < best.avg_network_delay:
+            best = ManyToOneSearchResult(
+                placed=placed,
+                v0=int(v0),
+                avg_network_delay=delay,
+                delays_by_candidate={},
+            )
+    if best is None:
+        raise InfeasibleError(
+            f"no feasible many-to-one placement from any of "
+            f"{len(candidate_idx)} candidates ({infeasible} infeasible)"
+        )
+    return ManyToOneSearchResult(
+        placed=best.placed,
+        v0=best.v0,
+        avg_network_delay=best.avg_network_delay,
+        delays_by_candidate=delays,
+    )

@@ -1,0 +1,54 @@
+"""Q/U logical timestamps.
+
+Q/U orders object versions by logical timestamps constructed so that
+distinct operations produce distinct, totally ordered timestamps. We keep
+the fields that matter for ordering and tie-breaking — logical time,
+barrier flag, and the (client id, operation sequence) pair that makes
+timestamps unique — and drop the operation/history hashes, which only serve
+Byzantine verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+__all__ = ["QUTimestamp"]
+
+
+@total_ordering
+@dataclass(frozen=True)
+class QUTimestamp:
+    """A totally ordered logical timestamp.
+
+    ``time`` is the logical clock; ``barrier`` marks barrier candidates
+    (used by the repair protocol; always False on the common path);
+    ``client_id`` and ``op_seq`` break ties between concurrent updates.
+    """
+
+    time: int = 0
+    barrier: bool = False
+    client_id: int = -1
+    op_seq: int = -1
+
+    def _key(self) -> tuple[int, int, int, int]:
+        return (self.time, int(self.barrier), self.client_id, self.op_seq)
+
+    def __lt__(self, other: "QUTimestamp") -> bool:
+        if not isinstance(other, QUTimestamp):
+            return NotImplemented
+        return self._key() < other._key()
+
+    def next_for(self, client_id: int, op_seq: int) -> "QUTimestamp":
+        """The timestamp a successful update conditioned on ``self`` creates."""
+        return QUTimestamp(
+            time=self.time + 1,
+            barrier=False,
+            client_id=client_id,
+            op_seq=op_seq,
+        )
+
+    @classmethod
+    def zero(cls) -> "QUTimestamp":
+        """The initial timestamp every object starts from."""
+        return cls()

@@ -1,0 +1,167 @@
+"""Abstract quorum-system API.
+
+Two representations coexist:
+
+* *Enumerated* systems expose an explicit tuple of quorums. The Grid (k^2
+  quorums) and small Majorities are enumerated; every placement and strategy
+  algorithm works on them directly.
+* *Implicit threshold* systems (Majorities with large universes) have
+  combinatorially many quorums (``C(n, q)``), so they additionally expose
+  structure — the quorum size ``q`` — that lets the closest-quorum and
+  balanced strategies be evaluated exactly without enumeration (see
+  :mod:`repro.quorums.order_stats`).
+
+Element identifiers are integers ``0 .. universe_size-1``; a placement maps
+them to topology nodes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from functools import cached_property
+
+from repro.errors import QuorumSystemError
+
+__all__ = ["QuorumSystem", "EnumeratedQuorumSystem"]
+
+#: Refuse to enumerate more quorums than this (safety valve for thresholds).
+MAX_ENUMERABLE_QUORUMS = 200_000
+
+
+class QuorumSystem(ABC):
+    """A quorum system over universe ``{0, ..., universe_size - 1}``."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Human-readable system name (used in experiment reports)."""
+
+    @property
+    @abstractmethod
+    def universe_size(self) -> int:
+        """Number of logical elements ``n = |U|``."""
+
+    @property
+    @abstractmethod
+    def is_enumerable(self) -> bool:
+        """Whether :attr:`quorums` can be materialized."""
+
+    @property
+    @abstractmethod
+    def num_quorums(self) -> int:
+        """Number of quorums ``m = |Q|`` (may be huge for thresholds)."""
+
+    @property
+    @abstractmethod
+    def quorums(self) -> tuple[frozenset[int], ...]:
+        """All quorums, as frozensets of element ids.
+
+        Raises :class:`QuorumSystemError` for non-enumerable systems.
+        """
+
+    @property
+    @abstractmethod
+    def min_quorum_size(self) -> int:
+        """Size of the smallest quorum."""
+
+    # ------------------------------------------------------------------
+    # Shared behaviour
+    # ------------------------------------------------------------------
+    def elements(self) -> range:
+        """The universe ``U``."""
+        return range(self.universe_size)
+
+    def validate(self) -> None:
+        """Check the defining invariants; raise on violation.
+
+        * every quorum is a non-empty subset of the universe,
+        * every two quorums intersect.
+
+        For non-enumerable systems, subclasses override this with a
+        structural argument (e.g. ``2q > n`` for thresholds).
+        """
+        quorums = self.quorums
+        if not quorums:
+            raise QuorumSystemError(f"{self.name}: no quorums defined")
+        universe = frozenset(self.elements())
+        for quorum in quorums:
+            if not quorum:
+                raise QuorumSystemError(f"{self.name}: empty quorum")
+            if not quorum <= universe:
+                raise QuorumSystemError(
+                    f"{self.name}: quorum {sorted(quorum)} escapes universe"
+                )
+        for i, a in enumerate(quorums):
+            for b in quorums[i + 1 :]:
+                if not (a & b):
+                    raise QuorumSystemError(
+                        f"{self.name}: disjoint quorums "
+                        f"{sorted(a)} and {sorted(b)}"
+                    )
+
+    def element_membership_counts(self) -> list[int]:
+        """For each element, the number of quorums containing it."""
+        counts = [0] * self.universe_size
+        for quorum in self.quorums:
+            for u in quorum:
+                counts[u] += 1
+        return counts
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"n={self.universe_size}, m={self.num_quorums})"
+        )
+
+
+class EnumeratedQuorumSystem(QuorumSystem):
+    """A quorum system defined by an explicit list of quorums."""
+
+    def __init__(
+        self,
+        quorums: list[frozenset[int]] | tuple[frozenset[int], ...],
+        universe_size: int | None = None,
+        name: str = "custom",
+    ) -> None:
+        materialized = tuple(frozenset(q) for q in quorums)
+        if not materialized:
+            raise QuorumSystemError("at least one quorum is required")
+        if len(materialized) > MAX_ENUMERABLE_QUORUMS:
+            raise QuorumSystemError(
+                f"refusing to materialize {len(materialized)} quorums"
+            )
+        covered = frozenset().union(*materialized)
+        if universe_size is None:
+            universe_size = (max(covered) + 1) if covered else 0
+        if covered and max(covered) >= universe_size:
+            raise QuorumSystemError(
+                "quorum element id exceeds declared universe size"
+            )
+        self._quorums = materialized
+        self._universe_size = int(universe_size)
+        self._name = name
+        self.validate()
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def universe_size(self) -> int:
+        return self._universe_size
+
+    @property
+    def is_enumerable(self) -> bool:
+        return True
+
+    @property
+    def num_quorums(self) -> int:
+        return len(self._quorums)
+
+    @cached_property
+    def quorums(self) -> tuple[frozenset[int], ...]:
+        return self._quorums
+
+    @property
+    def min_quorum_size(self) -> int:
+        return min(len(q) for q in self._quorums)

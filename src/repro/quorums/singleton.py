@@ -1,0 +1,41 @@
+"""The singleton quorum system.
+
+A single universe element, and the single quorum containing it. Placed on the
+graph median this is Lin's 2-approximation benchmark for network delay
+(Section 4.1.2): no quorum system placed anywhere can beat half the
+singleton's average delay.
+"""
+
+from __future__ import annotations
+
+from repro.quorums.base import QuorumSystem
+
+__all__ = ["SingletonQuorumSystem"]
+
+
+class SingletonQuorumSystem(QuorumSystem):
+    """The one-element, one-quorum system."""
+
+    @property
+    def name(self) -> str:
+        return "Singleton"
+
+    @property
+    def universe_size(self) -> int:
+        return 1
+
+    @property
+    def num_quorums(self) -> int:
+        return 1
+
+    @property
+    def is_enumerable(self) -> bool:
+        return True
+
+    @property
+    def quorums(self) -> tuple[frozenset[int], ...]:
+        return (frozenset({0}),)
+
+    @property
+    def min_quorum_size(self) -> int:
+        return 1

@@ -1,0 +1,192 @@
+"""Threshold (Majority) quorum systems.
+
+A threshold system over ``n`` elements with quorum size ``q`` has as quorums
+*all* ``q``-subsets of the universe; any two quorums intersect whenever
+``2q > n``. The paper evaluates three Majority families parameterized by the
+number of tolerated faults ``t`` (Section 5, "Quorum systems"):
+
+=================  ==========  ===============  =======================
+family             quorum size  universe size    protocol context
+=================  ==========  ===============  =======================
+``(t+1, 2t+1)``    ``t + 1``    ``2t + 1``       crash-tolerant majority
+``(2t+1, 3t+1)``   ``2t + 1``   ``3t + 1``       BFT (e.g. PBFT/Paxos-BFT)
+``(4t+1, 5t+1)``   ``4t + 1``   ``5t + 1``       Q/U
+=================  ==========  ===============  =======================
+
+Since ``C(n, q)`` explodes, threshold systems are *implicit* by default:
+they enumerate their quorums only when ``C(n, q)`` is below the safety
+limit. Strategy evaluations for the closest and balanced strategies use the
+threshold structure exactly (order statistics) instead of enumeration.
+"""
+
+from __future__ import annotations
+
+import itertools
+from enum import Enum
+from functools import cached_property
+from math import comb
+
+from repro.errors import QuorumSystemError
+from repro.quorums.base import MAX_ENUMERABLE_QUORUMS, QuorumSystem
+
+__all__ = [
+    "ThresholdQuorumSystem",
+    "MajorityKind",
+    "majority",
+    "majority_universe_sizes",
+]
+
+
+class ThresholdQuorumSystem(QuorumSystem):
+    """All ``q``-subsets of ``{0..n-1}``; requires ``2q > n``."""
+
+    def __init__(self, universe_size: int, quorum_size: int, name: str | None = None):
+        n, q = int(universe_size), int(quorum_size)
+        if n < 1:
+            raise QuorumSystemError("universe size must be positive")
+        if not 1 <= q <= n:
+            raise QuorumSystemError(
+                f"quorum size {q} out of range for universe {n}"
+            )
+        if 2 * q <= n:
+            raise QuorumSystemError(
+                f"threshold system ({q} of {n}) has disjoint quorums"
+            )
+        self._n = n
+        self._q = q
+        self._name = name or f"threshold({q} of {n})"
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def universe_size(self) -> int:
+        return self._n
+
+    @property
+    def quorum_size(self) -> int:
+        """The threshold ``q``: every ``q``-subset is a quorum."""
+        return self._q
+
+    @property
+    def min_quorum_size(self) -> int:
+        return self._q
+
+    @property
+    def num_quorums(self) -> int:
+        return comb(self._n, self._q)
+
+    @property
+    def is_enumerable(self) -> bool:
+        return self.num_quorums <= MAX_ENUMERABLE_QUORUMS
+
+    @cached_property
+    def quorums(self) -> tuple[frozenset[int], ...]:
+        if not self.is_enumerable:
+            raise QuorumSystemError(
+                f"{self.name} has {self.num_quorums} quorums; "
+                "use the implicit threshold API instead of enumerating"
+            )
+        return tuple(
+            frozenset(combo)
+            for combo in itertools.combinations(range(self._n), self._q)
+        )
+
+    def validate(self) -> None:
+        """Structural check: ``2q > n`` guarantees pairwise intersection."""
+        if 2 * self._q <= self._n:
+            raise QuorumSystemError(
+                f"{self.name}: quorums of size {self._q} over {self._n} "
+                "elements do not pairwise intersect"
+            )
+
+    @property
+    def fault_tolerance(self) -> int:
+        """Crash failures tolerated: ``n - q`` element crashes leave a quorum."""
+        return self._n - self._q
+
+    @property
+    def min_intersection(self) -> int:
+        """Smallest possible overlap of two quorums, ``2q - n``."""
+        return 2 * self._q - self._n
+
+    @property
+    def masking_tolerance(self) -> int:
+        """Byzantine faults ``b`` masked by quorum intersection.
+
+        This is the Malkhi–Reiter *masking quorum* criterion: any two
+        quorums intersect in at least ``2b + 1`` elements, so a correct
+        majority of the overlap survives without protocol help, giving
+        ``b = floor((2q - n - 1) / 2)``. Under it the paper's families
+        rank as their protocols suggest: ``(t+1, 2t+1)`` masks 0 (crash
+        only); ``(2t+1, 3t+1)`` masks ``t // 2`` (PBFT tolerates ``t``
+        via extra protocol rounds, not overlap alone); ``(4t+1, 5t+1)``
+        masks ``(3t - 1) // 2 >= t`` — Q/U's fat ``3t + 1`` overlap is
+        what buys its single-round writes.
+        """
+        return max(0, (self.min_intersection - 1) // 2)
+
+
+class MajorityKind(str, Enum):
+    """The paper's three Majority families, keyed by common protocol usage."""
+
+    SIMPLE = "(t+1, 2t+1)"
+    BFT = "(2t+1, 3t+1)"
+    QU = "(4t+1, 5t+1)"
+
+    @property
+    def quorum_coefficients(self) -> tuple[int, int]:
+        """(a, b) such that the quorum size is ``a*t + b``."""
+        return {
+            MajorityKind.SIMPLE: (1, 1),
+            MajorityKind.BFT: (2, 1),
+            MajorityKind.QU: (4, 1),
+        }[self]
+
+    @property
+    def universe_coefficients(self) -> tuple[int, int]:
+        """(a, b) such that the universe size is ``a*t + b``."""
+        return {
+            MajorityKind.SIMPLE: (2, 1),
+            MajorityKind.BFT: (3, 1),
+            MajorityKind.QU: (5, 1),
+        }[self]
+
+
+def majority(kind: MajorityKind | str, t: int) -> ThresholdQuorumSystem:
+    """Build one of the paper's Majority systems for fault parameter ``t``.
+
+    >>> majority(MajorityKind.QU, 1).universe_size
+    6
+    >>> majority("(2t+1, 3t+1)", 2).quorum_size
+    5
+    """
+    kind = MajorityKind(kind)
+    if t < 1:
+        raise QuorumSystemError("fault parameter t must be >= 1")
+    qa, qb = kind.quorum_coefficients
+    ua, ub = kind.universe_coefficients
+    return ThresholdQuorumSystem(
+        universe_size=ua * t + ub,
+        quorum_size=qa * t + qb,
+        name=f"Majority {kind.value}, t={t}",
+    )
+
+
+def majority_universe_sizes(
+    kind: MajorityKind | str, max_universe: int
+) -> list[int]:
+    """Universe sizes of a Majority family with ``n <= max_universe``.
+
+    The paper sweeps ``t`` "from 1 to the highest value for which the
+    universe size is less than the size of the graph" (Section 5).
+    """
+    kind = MajorityKind(kind)
+    ua, ub = kind.universe_coefficients
+    sizes = []
+    t = 1
+    while ua * t + ub <= max_universe:
+        sizes.append(ua * t + ub)
+        t += 1
+    return sizes

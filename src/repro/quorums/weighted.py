@@ -1,0 +1,91 @@
+"""Weighted-majority (Gifford-style voting) quorum systems.
+
+**Extension beyond the paper.** Gifford's weighted voting [11 in the paper]
+generalizes Majorities: each element carries a vote weight, and any set whose
+weight exceeds half the total is a quorum. The paper cites weighted voting as
+the origin of Majority systems; we include the generalization because
+heterogeneous vote assignments are the natural tool when topology nodes have
+heterogeneous capacities. Only *minimal* quorums are materialized (supersets
+add delay without aiding intersection).
+"""
+
+from __future__ import annotations
+
+import itertools
+from functools import cached_property
+
+from repro.errors import QuorumSystemError
+from repro.quorums.base import MAX_ENUMERABLE_QUORUMS, QuorumSystem
+
+__all__ = ["WeightedMajorityQuorumSystem"]
+
+_MAX_WEIGHTED_UNIVERSE = 24  # minimal-quorum enumeration is exponential
+
+
+class WeightedMajorityQuorumSystem(QuorumSystem):
+    """Quorums are minimal sets with strictly more than half the total weight."""
+
+    def __init__(self, weights: list[int] | tuple[int, ...]) -> None:
+        weights = tuple(int(w) for w in weights)
+        if not weights:
+            raise QuorumSystemError("at least one weight is required")
+        if any(w <= 0 for w in weights):
+            raise QuorumSystemError("vote weights must be positive integers")
+        if len(weights) > _MAX_WEIGHTED_UNIVERSE:
+            raise QuorumSystemError(
+                f"weighted majority limited to {_MAX_WEIGHTED_UNIVERSE} "
+                "elements (minimal-quorum enumeration is exponential)"
+            )
+        self._weights = weights
+        self._threshold = sum(weights) / 2.0
+
+    @property
+    def weights(self) -> tuple[int, ...]:
+        """Per-element vote weights."""
+        return self._weights
+
+    @property
+    def name(self) -> str:
+        return f"WeightedMajority(weights={list(self._weights)})"
+
+    @property
+    def universe_size(self) -> int:
+        return len(self._weights)
+
+    @property
+    def is_enumerable(self) -> bool:
+        return True
+
+    def _is_quorum(self, subset: tuple[int, ...]) -> bool:
+        return sum(self._weights[u] for u in subset) > self._threshold
+
+    @cached_property
+    def quorums(self) -> tuple[frozenset[int], ...]:
+        """All *minimal* winning coalitions."""
+        n = len(self._weights)
+        minimal: list[frozenset[int]] = []
+        # Scan by size so any winning set with a winning proper subset is
+        # rejected against the already-found smaller quorums.
+        for size in range(1, n + 1):
+            for combo in itertools.combinations(range(n), size):
+                if not self._is_quorum(combo):
+                    continue
+                as_set = frozenset(combo)
+                if any(q <= as_set for q in minimal):
+                    continue
+                minimal.append(as_set)
+                if len(minimal) > MAX_ENUMERABLE_QUORUMS:
+                    raise QuorumSystemError(
+                        "too many minimal quorums to materialize"
+                    )
+        if not minimal:
+            raise QuorumSystemError("no winning coalition exists")
+        return tuple(minimal)
+
+    @property
+    def num_quorums(self) -> int:
+        return len(self.quorums)
+
+    @property
+    def min_quorum_size(self) -> int:
+        return min(len(q) for q in self.quorums)

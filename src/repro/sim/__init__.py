@@ -1,0 +1,27 @@
+"""Discrete-event simulation substrate.
+
+Replaces the paper's Modelnet testbed (Section 3): a deterministic
+event-driven simulator (:mod:`repro.sim.engine`), message delivery over a
+topology's RTT matrix (:mod:`repro.sim.network`), closed-loop workload
+bookkeeping (:mod:`repro.sim.workload`) and response-time metrics
+(:mod:`repro.sim.metrics`).
+
+The Q/U experiment harness lives in :mod:`repro.sim.experiment`; import it
+directly (``from repro.sim.experiment import run_qu_experiment``) — it sits
+above both this package and :mod:`repro.qu`, so it is not re-exported here.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.failures import CrashWindow, FailureSchedule
+from repro.sim.metrics import OperationRecord, ResponseTimeStats, summarize
+from repro.sim.network import SimNetwork
+
+__all__ = [
+    "Simulator",
+    "SimNetwork",
+    "OperationRecord",
+    "ResponseTimeStats",
+    "summarize",
+    "CrashWindow",
+    "FailureSchedule",
+]

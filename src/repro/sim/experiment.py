@@ -1,0 +1,157 @@
+"""The Section-3 Q/U experiment harness.
+
+Reproduces the paper's Modelnet methodology:
+
+* ``n = 5t + 1`` servers with quorums of ``4t + 1``;
+* servers placed by the algorithm that "approximately minimizes the average
+  network delay that each client experiences when accessing a quorum
+  uniformly at random" (the Majority ball placement with best-``v0``
+  search);
+* 10 client sites "for which the average network delay to the server
+  placement approximates the average network delay from all the nodes of
+  the graph" — chosen as the sites whose balanced expected delay is closest
+  to the graph-wide average;
+* ``c`` closed-loop clients per site, uniform random quorums, 1 ms service
+  time per request;
+* measures: average response time and average network delay over clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.response_time import evaluate
+from repro.core.strategy import ThresholdBalancedStrategy
+from repro.errors import SimulationError
+from repro.network.graph import Topology
+from repro.placement.search import best_placement
+from repro.quorums.threshold import MajorityKind, majority
+from repro.sim.metrics import ResponseTimeStats, summarize
+from repro.qu.service import QUService
+
+__all__ = [
+    "QUExperimentConfig",
+    "QUExperimentResult",
+    "select_client_sites",
+    "run_qu_experiment",
+]
+
+
+def select_client_sites(
+    topology: Topology,
+    placed,
+    n_sites: int = 10,
+) -> np.ndarray:
+    """Client sites whose balanced network delay best matches the global mean.
+
+    ``placed`` is a placed threshold system; per-node expected delays under
+    the balanced strategy are computed exactly, and the ``n_sites`` nodes
+    whose delay is closest to the all-nodes average are returned (ties to
+    lower node id).
+    """
+    result = evaluate(placed, ThresholdBalancedStrategy(), alpha=0.0)
+    per_node = result.per_client_network_delay
+    target = per_node.mean()
+    gap = np.abs(per_node - target)
+    order = np.lexsort((np.arange(topology.n_nodes), gap))
+    return np.sort(order[:n_sites])
+
+
+@dataclass(frozen=True)
+class QUExperimentConfig:
+    """Parameters of one Q/U simulation run.
+
+    Defaults mirror the paper: ``t`` faults => 5t+1 servers and 4t+1
+    quorums, 10 client sites, 1 ms service time. ``clients_per_site`` is
+    the paper's ``c`` in 1..10.
+    """
+
+    t: int = 1
+    clients_per_site: int = 1
+    n_client_sites: int = 10
+    service_time_ms: float = 1.0
+    duration_ms: float = 4000.0
+    warmup_ms: float = 500.0
+    seed: int = 1
+    network_jitter_ms: float = 0.0
+
+    @property
+    def n_servers(self) -> int:
+        return 5 * self.t + 1
+
+    @property
+    def quorum_size(self) -> int:
+        return 4 * self.t + 1
+
+    @property
+    def n_clients(self) -> int:
+        return self.n_client_sites * self.clients_per_site
+
+
+@dataclass(frozen=True)
+class QUExperimentResult:
+    """Measured and analytic outcomes of one run."""
+
+    config: QUExperimentConfig
+    stats: ResponseTimeStats
+    analytic_network_delay_ms: float
+    server_nodes: np.ndarray
+    client_sites: np.ndarray
+    mean_server_utilization: float
+    operations_completed: int
+
+    @property
+    def mean_response_ms(self) -> float:
+        return self.stats.mean_response_ms
+
+    @property
+    def mean_network_delay_ms(self) -> float:
+        return self.stats.mean_network_delay_ms
+
+
+def run_qu_experiment(
+    topology: Topology, config: QUExperimentConfig
+) -> QUExperimentResult:
+    """Place servers, select client sites, simulate, and summarize."""
+    system = majority(MajorityKind.QU, config.t)
+    if system.universe_size > topology.n_nodes:
+        raise SimulationError(
+            f"t={config.t} needs {system.universe_size} nodes; topology "
+            f"has {topology.n_nodes}"
+        )
+    search = best_placement(topology, system)
+    placed = search.placed
+    server_nodes = placed.placement.assignment
+
+    client_sites = select_client_sites(
+        topology, placed, n_sites=config.n_client_sites
+    )
+    analytic = evaluate(
+        placed, ThresholdBalancedStrategy(), alpha=0.0, clients=client_sites
+    ).avg_network_delay
+
+    service = QUService(
+        topology,
+        server_nodes,
+        quorum_size=config.quorum_size,
+        service_time_ms=config.service_time_ms,
+        network_jitter_ms=config.network_jitter_ms,
+        seed=config.seed,
+    )
+    for site in client_sites:
+        for _ in range(config.clients_per_site):
+            service.add_client(int(site))
+    service.run(duration_ms=config.duration_ms)
+
+    stats = summarize(service.all_records(), warmup_ms=config.warmup_ms)
+    return QUExperimentResult(
+        config=config,
+        stats=stats,
+        analytic_network_delay_ms=analytic,
+        server_nodes=server_nodes,
+        client_sites=client_sites,
+        mean_server_utilization=float(service.server_utilizations().mean()),
+        operations_completed=stats.n_operations,
+    )

@@ -1,0 +1,68 @@
+"""Failure injection for quorum-protocol simulations. (Extension.)
+
+The paper's evaluation assumes "normal conditions, i.e., that there are no
+failures of network nodes or links" and names relaxing that as future work
+(Section 1). This module provides the machinery: crash/recovery schedules
+for server nodes, applied to the generic simulator.
+
+Semantics: while a node is crashed it silently drops arriving requests
+(queued work is lost, matching a process crash). Clients arm a timeout per
+access; on expiry they abandon the access and resample a quorum — under
+the balanced strategy fresh samples eventually avoid the dead node, while
+a deterministic closest strategy keeps hitting it until recovery, which is
+exactly the brittleness the quorum literature predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+__all__ = ["CrashWindow", "FailureSchedule"]
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """One crash interval of a node: down in [start_ms, end_ms)."""
+
+    node: int
+    start_ms: float
+    end_ms: float
+
+    def __post_init__(self) -> None:
+        if self.start_ms < 0 or self.end_ms <= self.start_ms:
+            raise SimulationError(
+                f"invalid crash window [{self.start_ms}, {self.end_ms})"
+            )
+
+
+class FailureSchedule:
+    """A set of crash windows, queryable by (node, time)."""
+
+    def __init__(self, windows: list[CrashWindow] | None = None) -> None:
+        self._windows: list[CrashWindow] = list(windows or [])
+
+    def add(self, node: int, start_ms: float, end_ms: float) -> None:
+        """Schedule a crash of ``node`` during ``[start_ms, end_ms)``."""
+        self._windows.append(CrashWindow(node, start_ms, end_ms))
+
+    @property
+    def windows(self) -> tuple[CrashWindow, ...]:
+        return tuple(self._windows)
+
+    def is_down(self, node: int, time_ms: float) -> bool:
+        """Whether ``node`` is crashed at ``time_ms``."""
+        return any(
+            w.node == node and w.start_ms <= time_ms < w.end_ms
+            for w in self._windows
+        )
+
+    def downtime(self, node: int, until_ms: float) -> float:
+        """Total scheduled downtime of ``node`` within ``[0, until_ms)``."""
+        total = 0.0
+        for w in self._windows:
+            if w.node != node:
+                continue
+            total += max(0.0, min(w.end_ms, until_ms) - w.start_ms)
+        return total

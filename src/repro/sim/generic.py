@@ -1,0 +1,404 @@
+"""Generic quorum-protocol simulation.
+
+The paper's methodology combines "experiments with a real protocol
+implementation [Q/U] ... and simulation of a generic quorum system protocol
+over models of several actual wide-area network topologies" (Section 1).
+This module is that generic simulator: closed-loop clients issue one
+round-trip accesses to quorums of an arbitrary *placed* quorum system,
+sampling quorums from an arbitrary access-strategy profile; servers process
+requests through FIFO queues.
+
+Its main use is validating the analytic response-time model (4.1)-(4.2):
+at low demand the simulated mean response time converges to the model's
+network-delay prediction, and the load the simulation observes per node
+converges to ``load_f(w)`` (tests in ``tests/test_generic_sim.py``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.placement import PlacedQuorumSystem
+from repro.core.strategy import AccessStrategy, ExplicitStrategy
+from repro.errors import SimulationError
+from repro.sim.failures import FailureSchedule
+from repro.quorums.threshold import ThresholdQuorumSystem
+from repro.sim.engine import Simulator
+from repro.sim.metrics import OperationRecord, ResponseTimeStats, summarize
+from repro.sim.network import SimNetwork
+
+__all__ = ["GenericQuorumSimulation", "GenericSimResult"]
+
+
+class _Server:
+    """FIFO single-processor node; serves every element it hosts."""
+
+    __slots__ = ("node", "service_time_ms", "queue", "busy", "sim",
+                 "network", "requests_processed", "busy_time_ms",
+                 "failures", "requests_dropped")
+
+    def __init__(self, node, service_time_ms, sim, network, failures=None):
+        self.node = node
+        self.service_time_ms = service_time_ms
+        self.queue: deque = deque()
+        self.busy = False
+        self.sim = sim
+        self.network = network
+        self.failures = failures
+        self.requests_processed = 0
+        self.requests_dropped = 0
+        self.busy_time_ms = 0.0
+
+    def _down(self) -> bool:
+        return self.failures is not None and self.failures.is_down(
+            self.node, self.sim.now
+        )
+
+    def on_request(self, message) -> None:
+        if self._down():
+            # A crashed process silently drops the request and whatever
+            # was queued behind it.
+            self.requests_dropped += 1 + len(self.queue)
+            self.queue.clear()
+            self.busy = False
+            return
+        self.queue.append(message)
+        if not self.busy:
+            self._next()
+
+    def _next(self) -> None:
+        if not self.queue:
+            self.busy = False
+            return
+        self.busy = True
+        message = self.queue.popleft()
+        # One service slot per hosted element of the accessed quorum: the
+        # paper's per-element load model. `message.units` carries the count.
+        service = self.service_time_ms * message.units
+        self.busy_time_ms += service
+        self.sim.schedule(service, lambda: self._reply(message))
+
+    def _reply(self, message) -> None:
+        if self._down():
+            # The crash took the in-flight request with it.
+            self.requests_dropped += 1 + len(self.queue)
+            self.queue.clear()
+            self.busy = False
+            return
+        self.requests_processed += 1
+        self.network.send(
+            self.node,
+            message.client_node,
+            message,
+            message.on_reply,
+        )
+        self._next()
+
+
+@dataclass
+class _Access:
+    """One in-flight quorum access from a client."""
+
+    client_node: int
+    units: int
+    attempt: int = 0
+    on_reply: object = None
+
+
+class _Client:
+    """Closed-loop client sampling quorums from its strategy row."""
+
+    def __init__(
+        self,
+        client_id: int,
+        node: int,
+        quorum_sampler,
+        sim: Simulator,
+        network: SimNetwork,
+        servers: dict[int, _Server],
+        rng: np.random.Generator,
+        coalesce: bool,
+        timeout_ms: float = 0.0,
+    ):
+        self.client_id = client_id
+        self.node = node
+        self.sample_quorum = quorum_sampler
+        self.sim = sim
+        self.network = network
+        self.servers = servers
+        self.rng = rng
+        self.coalesce = coalesce
+        self.timeout_ms = timeout_ms
+        self.records: list[OperationRecord] = []
+        self.running = False
+        self.timeouts_total = 0
+        self._pending = 0
+        self._issued_at = 0.0
+        self._first_issued_at = 0.0
+        self._network_delay = 0.0
+        self._attempt = 0
+        self._timeout_event = None
+
+    def start(self, delay_ms: float) -> None:
+        self.running = True
+        self.sim.schedule(delay_ms, self._issue)
+
+    def stop(self) -> None:
+        self.running = False
+
+    def _issue(self, is_retry: bool = False) -> None:
+        if not self.running:
+            return
+        nodes, multiplicities = self.sample_quorum(self.rng)
+        self._attempt += 1
+        self._issued_at = self.sim.now
+        if not is_retry:
+            self._first_issued_at = self.sim.now
+        self._network_delay = max(
+            self.network.topology.distance(self.node, int(w))
+            for w in nodes
+        )
+        self._pending = len(nodes)
+        for w, count in zip(nodes, multiplicities):
+            units = 1 if self.coalesce else int(count)
+            message = _Access(
+                client_node=self.node, units=units, attempt=self._attempt
+            )
+            message.on_reply = self._on_reply
+            self.network.send(
+                self.node, int(w), message, self.servers[int(w)].on_request
+            )
+        if self.timeout_ms > 0:
+            self._timeout_event = self.sim.schedule(
+                self.timeout_ms, self._on_timeout
+            )
+
+    def _on_timeout(self) -> None:
+        if not self.running or self._pending == 0:
+            return
+        # Abandon the attempt and resample a (hopefully live) quorum.
+        self.timeouts_total += 1
+        self._issue(is_retry=True)
+
+    def _on_reply(self, message) -> None:
+        if not self.running:
+            return
+        if message.attempt != self._attempt:
+            return  # reply from an abandoned attempt
+        self._pending -= 1
+        if self._pending > 0:
+            return
+        if self._timeout_event is not None:
+            self._timeout_event.cancel()
+            self._timeout_event = None
+        self.records.append(
+            OperationRecord(
+                client_id=self.client_id,
+                client_node=self.node,
+                issued_at_ms=self._first_issued_at,
+                completed_at_ms=self.sim.now,
+                network_delay_ms=self._network_delay,
+            )
+        )
+        self._issue()
+
+
+@dataclass(frozen=True)
+class GenericSimResult:
+    """Outcome of a generic quorum-protocol simulation."""
+
+    stats: ResponseTimeStats
+    per_node_request_rate: np.ndarray
+    server_utilizations: np.ndarray
+    operations_completed: int
+    timeouts_total: int = 0
+    requests_dropped: int = 0
+
+
+class GenericQuorumSimulation:
+    """Simulate any placed quorum system under any access strategy.
+
+    Parameters
+    ----------
+    placed:
+        The placed quorum system (enumerable, or an implicit threshold
+        system with a one-to-one placement).
+    strategy:
+        The strategy profile clients sample quorums from. Explicit
+        strategies sample quorum indices per client row; implicit
+        threshold strategies sample either uniform random ``q``-subsets
+        (balanced) or the client's fixed closest quorum.
+    client_nodes:
+        Topology nodes hosting one closed-loop client each (a node may
+        appear multiple times). Defaults to one client on every node, the
+        paper's client model.
+    service_time_ms:
+        Server processing time per request *unit* (element).
+    coalesce:
+        Serve co-located elements of one access in a single unit (the
+        future-work load model).
+    """
+
+    def __init__(
+        self,
+        placed: PlacedQuorumSystem,
+        strategy: AccessStrategy,
+        client_nodes: object = None,
+        service_time_ms: float = 1.0,
+        network_jitter_ms: float = 0.0,
+        coalesce: bool = False,
+        seed: int = 0,
+        failures: FailureSchedule | None = None,
+        timeout_ms: float = 0.0,
+    ) -> None:
+        if service_time_ms < 0:
+            raise SimulationError("service time must be non-negative")
+        if failures is not None and timeout_ms <= 0:
+            raise SimulationError(
+                "failure injection requires a positive client timeout "
+                "(otherwise accesses through crashed nodes hang forever)"
+            )
+        self.placed = placed
+        self.strategy = strategy
+        self.sim = Simulator()
+        self.network = SimNetwork(
+            self.sim, placed.topology, jitter_ms=network_jitter_ms, seed=seed
+        )
+        self.seed = seed
+        if client_nodes is None:
+            client_nodes = np.arange(placed.n_nodes)
+        self.client_nodes = np.asarray(client_nodes, dtype=np.intp)
+        if self.client_nodes.size == 0:
+            raise SimulationError("at least one client is required")
+
+        support = placed.placement.support_set
+        self.servers = {
+            int(w): _Server(
+                int(w),
+                service_time_ms,
+                self.sim,
+                self.network,
+                failures=failures,
+            )
+            for w in support
+        }
+        self._samplers = self._build_samplers()
+        self.clients = [
+            _Client(
+                client_id=i,
+                node=int(node),
+                quorum_sampler=self._samplers[int(node)],
+                sim=self.sim,
+                network=self.network,
+                servers=self.servers,
+                rng=np.random.default_rng(seed * 69_941 + i),
+                coalesce=coalesce,
+                timeout_ms=timeout_ms,
+            )
+            for i, node in enumerate(self.client_nodes)
+        ]
+
+    # ------------------------------------------------------------------
+    # Quorum sampling
+    # ------------------------------------------------------------------
+    def _build_samplers(self):
+        placed = self.placed
+        strategy = self.strategy
+        samplers = {}
+        if isinstance(strategy, ExplicitStrategy):
+            quorum_nodes = placed.placed_quorums
+            assignment = placed.placement.assignment
+            quorums = placed.system.quorums
+            counts = []
+            for i, q in enumerate(quorums):
+                nodes, multiplicity = np.unique(
+                    assignment[np.fromiter(q, dtype=np.intp)],
+                    return_counts=True,
+                )
+                counts.append((nodes, multiplicity))
+            matrix = strategy.matrix
+            m = matrix.shape[1]
+            for v in set(self.client_nodes.tolist()):
+                row = matrix[v]
+
+                def sampler(rng, row=row, counts=counts, m=m):
+                    i = int(rng.choice(m, p=row))
+                    return counts[i]
+
+                samplers[v] = sampler
+            return samplers
+
+        if not isinstance(placed.system, ThresholdQuorumSystem):
+            raise SimulationError(
+                "implicit strategies require a threshold system"
+            )
+        support = placed.placement.support_set
+        n = placed.system.universe_size
+        q = placed.system.quorum_size
+        kind = type(strategy).__name__
+        ones = np.ones(q, dtype=np.intp)
+        if kind == "ThresholdBalancedStrategy":
+            for v in set(self.client_nodes.tolist()):
+
+                def sampler(rng, support=support, n=n, q=q, ones=ones):
+                    picks = rng.choice(n, size=q, replace=False)
+                    return support[picks], ones
+
+                samplers[v] = sampler
+            return samplers
+        if kind == "ThresholdClosestStrategy":
+            dist = placed.support_distances
+            for v in set(self.client_nodes.tolist()):
+                chosen = np.argsort(dist[v], kind="stable")[:q]
+                fixed = support[chosen]
+
+                def sampler(rng, fixed=fixed, ones=ones):
+                    return fixed, ones
+
+                samplers[v] = sampler
+            return samplers
+        raise SimulationError(
+            f"unsupported strategy type {kind!r} for the generic simulator"
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        duration_ms: float,
+        warmup_ms: float = 0.0,
+        stagger_ms: float = 1.0,
+    ) -> GenericSimResult:
+        """Run the closed loop and summarize."""
+        rng = np.random.default_rng(self.seed)
+        for client in self.clients:
+            client.start(float(rng.uniform(0.0, stagger_ms)))
+        self.sim.run(until=duration_ms)
+        for client in self.clients:
+            client.stop()
+
+        records: list[OperationRecord] = []
+        for client in self.clients:
+            records.extend(client.records)
+        stats = summarize(records, warmup_ms=warmup_ms)
+
+        rates = np.zeros(self.placed.n_nodes)
+        utils = np.zeros(len(self.servers))
+        elapsed = self.sim.now
+        for idx, (node, server) in enumerate(sorted(self.servers.items())):
+            rates[node] = server.requests_processed / elapsed
+            utils[idx] = min(1.0, server.busy_time_ms / elapsed)
+        return GenericSimResult(
+            stats=stats,
+            per_node_request_rate=rates,
+            server_utilizations=utils,
+            operations_completed=stats.n_operations,
+            timeouts_total=sum(c.timeouts_total for c in self.clients),
+            requests_dropped=sum(
+                s.requests_dropped for s in self.servers.values()
+            ),
+        )

@@ -1,0 +1,105 @@
+"""Response-time metrics for simulation runs.
+
+Each completed operation contributes one :class:`OperationRecord`; the
+summary drops a configurable warmup prefix (queues need time to reach
+steady state) and reports the statistics the paper plots: mean response
+time and mean network delay, plus dispersion measures for sanity checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["OperationRecord", "ResponseTimeStats", "summarize"]
+
+
+@dataclass(frozen=True)
+class OperationRecord:
+    """One completed quorum operation.
+
+    ``network_delay_ms`` is the operation's pure network component (the max
+    RTT to the accessed quorum); ``response_time_ms`` additionally includes
+    queueing and service time at the servers.
+    """
+
+    client_id: int
+    client_node: int
+    issued_at_ms: float
+    completed_at_ms: float
+    network_delay_ms: float
+
+    @property
+    def response_time_ms(self) -> float:
+        return self.completed_at_ms - self.issued_at_ms
+
+    @property
+    def queueing_delay_ms(self) -> float:
+        """Response time beyond the network component (queueing + service)."""
+        return self.response_time_ms - self.network_delay_ms
+
+
+@dataclass(frozen=True)
+class ResponseTimeStats:
+    """Aggregate statistics over completed operations."""
+
+    n_operations: int
+    mean_response_ms: float
+    mean_network_delay_ms: float
+    median_response_ms: float
+    p95_response_ms: float
+    std_response_ms: float
+
+    @property
+    def mean_processing_ms(self) -> float:
+        """Mean queueing+service component (the paper's "processing delay")."""
+        return self.mean_response_ms - self.mean_network_delay_ms
+
+
+def summarize(
+    records: list[OperationRecord],
+    warmup_ms: float = 0.0,
+    per_client: bool = True,
+) -> ResponseTimeStats:
+    """Summarize records completed after the warmup cutoff.
+
+    With ``per_client`` (default) the means are **averages of per-client
+    means**, matching the paper's objective ``avg_{v} Delta_f(v)``: in a
+    closed loop, clients near the quorums complete more operations, so a
+    raw per-operation mean would over-weight them. Median/p95/std are
+    always per-operation (dispersion of individual requests).
+    """
+    kept = [r for r in records if r.issued_at_ms >= warmup_ms]
+    if not kept:
+        raise SimulationError(
+            "no operations completed after warmup; run longer or reduce "
+            "the warmup window"
+        )
+    response = np.asarray([r.response_time_ms for r in kept])
+    network = np.asarray([r.network_delay_ms for r in kept])
+
+    if per_client:
+        by_client: dict[int, list[int]] = {}
+        for i, record in enumerate(kept):
+            by_client.setdefault(record.client_id, []).append(i)
+        client_resp = [
+            response[idx].mean() for idx in by_client.values()
+        ]
+        client_net = [network[idx].mean() for idx in by_client.values()]
+        mean_response = float(np.mean(client_resp))
+        mean_network = float(np.mean(client_net))
+    else:
+        mean_response = float(response.mean())
+        mean_network = float(network.mean())
+
+    return ResponseTimeStats(
+        n_operations=len(kept),
+        mean_response_ms=mean_response,
+        mean_network_delay_ms=mean_network,
+        median_response_ms=float(np.median(response)),
+        p95_response_ms=float(np.percentile(response, 95)),
+        std_response_ms=float(response.std()),
+    )

@@ -1,0 +1,62 @@
+"""Message delivery over a topology inside the simulator.
+
+The topology's matrix holds round-trip times; a one-way message from ``v``
+to ``w`` is delivered ``d(v, w) / 2`` ms after it is sent (the paper's
+client-to-quorum interactions are symmetric request/reply round trips).
+Optional per-message jitter models transient queueing in the WAN, disabled
+by default so analytic and simulated network delays can be compared
+exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.network.graph import Topology
+from repro.sim.engine import Simulator
+
+__all__ = ["SimNetwork"]
+
+
+class SimNetwork:
+    """Delivers payloads between topology nodes with RTT/2 one-way delay."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        jitter_ms: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if jitter_ms < 0:
+            raise SimulationError("jitter must be non-negative")
+        self._sim = sim
+        self._topology = topology
+        self._jitter_ms = jitter_ms
+        self._rng = np.random.default_rng(seed)
+        self.messages_sent = 0
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    def one_way_delay(self, src: int, dst: int) -> float:
+        """Deterministic one-way delay component, ``d(src, dst) / 2``."""
+        return self._topology.distance(src, dst) / 2.0
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        payload: object,
+        on_delivery: Callable[[object], None],
+    ) -> None:
+        """Deliver ``payload`` to ``on_delivery`` after the one-way delay."""
+        delay = self.one_way_delay(src, dst)
+        if self._jitter_ms > 0:
+            delay += float(self._rng.exponential(self._jitter_ms))
+        self.messages_sent += 1
+        self._sim.schedule(delay, lambda: on_delivery(payload))

@@ -1,0 +1,61 @@
+"""Workload generators for the simulator.
+
+The paper's workload is closed-loop (clients reissue immediately), which
+:class:`~repro.qu.client.QUClient` implements natively. This module adds an
+*open-loop* Poisson injector for sensitivity studies — open-loop arrivals
+expose queueing collapse beyond saturation, where closed loops self-throttle
+— plus deterministic helpers for spreading clients over sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["PoissonArrivals", "spread_clients"]
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Poisson arrival-time generator with a fixed seed.
+
+    ``rate_per_ms`` is the expected number of operations per millisecond.
+    """
+
+    rate_per_ms: float
+    seed: int
+
+    def sample_until(self, horizon_ms: float) -> np.ndarray:
+        """All arrival times in ``[0, horizon_ms)``, sorted ascending."""
+        if self.rate_per_ms <= 0:
+            raise SimulationError("arrival rate must be positive")
+        if horizon_ms <= 0:
+            raise SimulationError("horizon must be positive")
+        rng = np.random.default_rng(self.seed)
+        # Draw ~20% more exponential gaps than expected, extend if short.
+        expected = int(self.rate_per_ms * horizon_ms * 1.2) + 16
+        gaps = rng.exponential(1.0 / self.rate_per_ms, size=expected)
+        times = np.cumsum(gaps)
+        while times.size and times[-1] < horizon_ms:
+            more = rng.exponential(1.0 / self.rate_per_ms, size=expected)
+            times = np.concatenate([times, times[-1] + np.cumsum(more)])
+        return times[times < horizon_ms]
+
+
+def spread_clients(
+    sites: np.ndarray, clients_per_site: int
+) -> list[int]:
+    """Site assignment for ``clients_per_site`` clients at each site.
+
+    Returns one entry per client, grouped by site, matching the paper's
+    "on each of these client locations we ran c clients".
+    """
+    if clients_per_site < 1:
+        raise SimulationError("clients_per_site must be >= 1")
+    assignment: list[int] = []
+    for site in np.asarray(sites, dtype=np.intp):
+        assignment.extend([int(site)] * clients_per_site)
+    return assignment

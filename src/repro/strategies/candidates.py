@@ -1,0 +1,89 @@
+"""Candidate-quorum sets: strategy LPs over large Majorities.
+
+LP (4.3)-(4.6) needs an explicit quorum list, but a Majority over ``n``
+elements has ``C(n, q)`` quorums. The paper's LP figures all use the Grid
+(enumerable); to extend the technique to thresholds this module builds a
+*candidate subsystem*: a tractable subset of quorums that provably contains
+the profiles the LP actually wants to mix —
+
+* each client's **closest quorum** (the LP's choice when capacity never
+  binds),
+* **distance-window quorums** per client: the ``q`` support nodes ranked
+  ``j .. j+q-1`` by distance, for each offset ``j`` (these trade a little
+  delay for shifting load off the closest nodes — precisely the LP's
+  mechanism under tight capacity),
+* optional **random quorums** for additional mixing freedom.
+
+Every candidate is a ``q``-subset, so the intersection property is
+inherited from the threshold structure; the LP solved over candidates is a
+restriction of the true LP, hence its objective upper-bounds the true
+optimum and every capacity guarantee still holds exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.placement import PlacedQuorumSystem
+from repro.errors import StrategyError
+from repro.quorums.base import EnumeratedQuorumSystem
+from repro.quorums.threshold import ThresholdQuorumSystem
+
+__all__ = ["candidate_subsystem"]
+
+
+def candidate_subsystem(
+    placed: PlacedQuorumSystem,
+    random_extra: int = 32,
+    seed: int = 0,
+) -> PlacedQuorumSystem:
+    """Build an enumerable candidate subsystem of a placed Majority.
+
+    Parameters
+    ----------
+    placed:
+        A one-to-one placed threshold system.
+    random_extra:
+        Number of additional uniformly random quorums to include.
+    seed:
+        Seed for the random extras.
+
+    Returns
+    -------
+    PlacedQuorumSystem
+        The same placement and topology with an
+        :class:`~repro.quorums.base.EnumeratedQuorumSystem` holding the
+        candidate quorums (element ids unchanged), ready for
+        :func:`~repro.strategies.lp_optimizer.optimize_access_strategies`.
+    """
+    system = placed.system
+    if not isinstance(system, ThresholdQuorumSystem):
+        raise StrategyError(
+            "candidate_subsystem requires a threshold quorum system"
+        )
+    if not placed.placement.is_one_to_one:
+        raise StrategyError(
+            "candidate_subsystem requires a one-to-one placement"
+        )
+    n, q = system.universe_size, system.quorum_size
+    dist = placed.support_distances  # (clients, n) distances to elements
+
+    candidates: set[frozenset[int]] = set()
+    # Distance-window quorums for every client (offset 0 == closest).
+    for v in range(placed.n_nodes):
+        order = np.argsort(dist[v], kind="stable")
+        for offset in range(0, n - q + 1):
+            candidates.add(frozenset(order[offset : offset + q].tolist()))
+
+    rng = np.random.default_rng(seed)
+    for _ in range(random_extra):
+        candidates.add(
+            frozenset(rng.choice(n, size=q, replace=False).tolist())
+        )
+
+    subsystem = EnumeratedQuorumSystem(
+        sorted(candidates, key=sorted),
+        universe_size=n,
+        name=f"{system.name} [candidates]",
+    )
+    return PlacedQuorumSystem(subsystem, placed.placement, placed.topology)

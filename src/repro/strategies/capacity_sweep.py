@@ -1,0 +1,124 @@
+"""The uniform-capacity sweep (Section 7, "Optimizing the access strategy").
+
+Node capacity is not treated as a physical property but as a *tuning knob*:
+for ten values ``c_i = L_opt + i * (1 - L_opt)/10`` every node's capacity is
+set to ``c_i``, LP (4.3)-(4.6) is solved, and the response time of the
+resulting strategies is computed; the best ``c_i`` wins. Low capacities
+force load dispersion (good under high demand); high capacities allow close
+quorums (good under low demand).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.placement import PlacedQuorumSystem
+from repro.core.response_time import ResponseTimeResult, evaluate
+from repro.core.strategy import ExplicitStrategy
+from repro.errors import InfeasibleError, StrategyError
+from repro.quorums.load_analysis import optimal_load
+from repro.strategies.lp_optimizer import optimize_access_strategies
+
+__all__ = [
+    "capacity_levels",
+    "CapacitySweepPoint",
+    "CapacitySweepResult",
+    "sweep_uniform_capacities",
+]
+
+
+def capacity_levels(l_opt: float, steps: int = 10) -> np.ndarray:
+    """The paper's grid ``c_i = L_opt + i * lambda``, ``lambda = (1-L_opt)/steps``.
+
+    ``i`` runs from 1 to ``steps``, so the last level is exactly 1.
+    """
+    if not 0.0 < l_opt <= 1.0:
+        raise StrategyError(f"optimal load must be in (0, 1], got {l_opt}")
+    if steps < 1:
+        raise StrategyError("steps must be >= 1")
+    lam = (1.0 - l_opt) / steps
+    return l_opt + lam * np.arange(1, steps + 1)
+
+
+@dataclass(frozen=True)
+class CapacitySweepPoint:
+    """One sweep point: the capacity level and the evaluation under the
+    LP-optimal strategies for that level."""
+
+    capacity: float
+    strategy: ExplicitStrategy
+    result: ResponseTimeResult
+
+
+@dataclass(frozen=True)
+class CapacitySweepResult:
+    """All sweep points plus the response-time-minimizing one."""
+
+    points: list[CapacitySweepPoint]
+    best: CapacitySweepPoint
+
+    @property
+    def capacities(self) -> np.ndarray:
+        return np.asarray([pt.capacity for pt in self.points])
+
+    @property
+    def response_times(self) -> np.ndarray:
+        return np.asarray(
+            [pt.result.avg_response_time for pt in self.points]
+        )
+
+    @property
+    def network_delays(self) -> np.ndarray:
+        return np.asarray(
+            [pt.result.avg_network_delay for pt in self.points]
+        )
+
+
+def sweep_uniform_capacities(
+    placed: PlacedQuorumSystem,
+    alpha: float,
+    levels: np.ndarray | None = None,
+    clients: object = None,
+    coalesce: bool = False,
+) -> CapacitySweepResult:
+    """Sweep uniform node capacities and pick the best response time.
+
+    Parameters
+    ----------
+    placed:
+        The placed (enumerable) quorum system.
+    alpha:
+        Queueing coefficient (``op_srv_time * client_demand``).
+    levels:
+        Capacity levels to try; defaults to :func:`capacity_levels` at the
+        system's optimal load.
+    clients:
+        Client set for response-time averaging (loads always use all nodes).
+    """
+    if levels is None:
+        l_opt = optimal_load(placed.system).l_opt
+        levels = capacity_levels(l_opt)
+    points: list[CapacitySweepPoint] = []
+    for capacity in np.asarray(levels, dtype=np.float64):
+        try:
+            strategy = optimize_access_strategies(
+                placed, float(capacity), coalesce=coalesce
+            )
+        except InfeasibleError:
+            continue  # capacity below what any strategy profile can meet
+        result = evaluate(
+            placed, strategy, alpha=alpha, clients=clients, coalesce=coalesce
+        )
+        points.append(
+            CapacitySweepPoint(
+                capacity=float(capacity), strategy=strategy, result=result
+            )
+        )
+    if not points:
+        raise InfeasibleError(
+            "no capacity level admitted a feasible strategy profile"
+        )
+    best = min(points, key=lambda pt: pt.result.avg_response_time)
+    return CapacitySweepResult(points=points, best=best)

@@ -1,0 +1,105 @@
+"""The access-strategy LP — equations (4.3)-(4.6).
+
+Given a placement ``f`` and node capacities, find per-client strategies
+minimizing average network delay subject to the capacity constraints:
+
+``min   avg_v sum_i p[v,i] * delta_f(v, Q_i)``                      (4.3)
+``s.t.  avg_v load_{v,f}(w) <= cap(w)   for all nodes w``           (4.4)
+``      sum_i p[v,i] = 1                for all clients v``         (4.5)
+``      p[v,i] in [0, 1]``                                          (4.6)
+
+The LP minimizes *network delay* while bounding per-node load, so it
+"improves network delay while preserving per-server load" — the tool both
+the capacity-sweep technique and the iterative algorithm build on. A
+solution may not exist when capacities are set below the system's optimal
+load; that surfaces as :class:`~repro.errors.InfeasibleError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.placement import PlacedQuorumSystem
+from repro.core.strategy import ExplicitStrategy
+from repro.errors import StrategyError
+from repro.lp import LinearProgram, solve
+
+__all__ = ["optimize_access_strategies"]
+
+
+def optimize_access_strategies(
+    placed: PlacedQuorumSystem,
+    capacities: np.ndarray | float,
+    coalesce: bool = False,
+) -> ExplicitStrategy:
+    """Solve LP (4.3)-(4.6) and return the optimal strategy profile.
+
+    Parameters
+    ----------
+    placed:
+        A placed, enumerable quorum system.
+    capacities:
+        Either a scalar (uniform capacity ``c_i`` for every node) or a
+        per-node vector ``cap(w)``.
+    coalesce:
+        Count a node once per accessed quorum instead of once per hosted
+        element (the future-work load model).
+
+    Raises
+    ------
+    InfeasibleError
+        If no strategy profile satisfies the capacity constraints (e.g.
+        capacities below the optimal load of the placed system).
+    """
+    if not placed.system.is_enumerable:
+        raise StrategyError(
+            f"{placed.system.name} is not enumerable; the strategy LP "
+            "needs explicit quorums"
+        )
+    n_clients = placed.n_nodes
+    m = placed.num_quorums
+    caps = np.asarray(capacities, dtype=np.float64)
+    if caps.ndim == 0:
+        caps = np.full(placed.n_nodes, float(caps))
+    if caps.shape != (placed.n_nodes,):
+        raise StrategyError(
+            f"capacities must be scalar or shape ({placed.n_nodes},), "
+            f"got {caps.shape}"
+        )
+    if np.any(caps < 0):
+        raise StrategyError("capacities must be non-negative")
+
+    delta = placed.delay_matrix  # (clients, quorums)
+    a = placed.incidence_indicator if coalesce else placed.incidence_counts
+
+    lp = LinearProgram()
+    p = lp.add_block("p", (n_clients, m), lower=0.0, upper=1.0)
+
+    # Objective (4.3): (1/|V|) sum_v sum_i delta[v, i] p[v, i].
+    coefficients = (delta / n_clients).ravel()
+    for flat_index, coefficient in enumerate(coefficients):
+        if coefficient != 0.0:
+            lp.set_objective(p.offset + flat_index, float(coefficient))
+
+    # Capacity constraints (4.4), one per node with any placed element.
+    quorum_ids_by_node = [np.flatnonzero(a[:, w]) for w in range(placed.n_nodes)]
+    for w, quorum_ids in enumerate(quorum_ids_by_node):
+        if quorum_ids.size == 0:
+            continue
+        weights = a[quorum_ids, w] / n_clients
+        cols: list[int] = []
+        vals: list[float] = []
+        for v in range(n_clients):
+            base = p.offset + v * m
+            cols.extend((base + quorum_ids).tolist())
+            vals.extend(weights.tolist())
+        lp.add_le(cols, vals, float(caps[w]))
+
+    # Distribution constraints (4.5)-(4.6).
+    for v in range(n_clients):
+        base = p.offset + v * m
+        lp.add_eq(list(range(base, base + m)), [1.0] * m, 1.0)
+
+    solution = solve(lp)
+    matrix = solution.block_values(lp, "p")
+    return ExplicitStrategy(matrix)

@@ -1,0 +1,37 @@
+"""The closest and balanced access strategies.
+
+* **closest** (Section 6): each client deterministically accesses the quorum
+  minimizing its network delay — optimal when the system is lightly loaded,
+  but offers no load dispersion.
+* **balanced** (Section 7): each client samples quorums uniformly, which
+  balances demand across servers at the price of contacting distant quorums.
+
+Both factories return the exact implicit implementation for threshold
+(Majority) systems, avoiding the ``C(n, q)`` enumeration.
+"""
+
+from __future__ import annotations
+
+from repro.core.placement import PlacedQuorumSystem
+from repro.core.strategy import (
+    AccessStrategy,
+    ExplicitStrategy,
+    ThresholdBalancedStrategy,
+    ThresholdClosestStrategy,
+)
+
+__all__ = ["closest_strategy", "balanced_strategy"]
+
+
+def closest_strategy(placed: PlacedQuorumSystem) -> AccessStrategy:
+    """Each client puts probability one on its minimum-delay quorum."""
+    if placed.is_threshold and placed.placement.is_one_to_one:
+        return ThresholdClosestStrategy()
+    return ExplicitStrategy.closest(placed)
+
+
+def balanced_strategy(placed: PlacedQuorumSystem) -> AccessStrategy:
+    """Each client samples quorums uniformly at random."""
+    if placed.is_threshold and placed.placement.is_one_to_one:
+        return ThresholdBalancedStrategy()
+    return ExplicitStrategy.uniform(placed)

@@ -1,0 +1,150 @@
+"""Tests for probabilistic availability analysis."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analysis.availability import availability, threshold_availability
+from repro.core.placement import PlacedQuorumSystem, Placement
+from repro.errors import QuorumSystemError
+from repro.quorums.grid import GridQuorumSystem
+from repro.quorums.threshold import ThresholdQuorumSystem
+
+
+def brute_force_availability(placed, p_fail):
+    """Enumerate all node-failure patterns (exponential; tiny cases only)."""
+    support = placed.placement.support_set
+    quorums = (
+        placed.placed_quorums
+        if placed.system.is_enumerable
+        else None
+    )
+    total = 0.0
+    for pattern in itertools.product([False, True], repeat=support.size):
+        prob = 1.0
+        alive = set()
+        for node, dead in zip(support, pattern):
+            prob *= p_fail if dead else (1.0 - p_fail)
+            if not dead:
+                alive.add(int(node))
+        if placed.system.is_enumerable:
+            ok = any(set(q) <= alive for q in quorums)
+        else:
+            alive_elements = sum(
+                1
+                for u in range(placed.system.universe_size)
+                if placed.placement.node_of(u) in alive
+            )
+            ok = alive_elements >= placed.system.quorum_size
+        if ok:
+            total += prob
+    return total
+
+
+class TestThresholdAvailability:
+    @pytest.mark.parametrize("p", [0.0, 0.05, 0.3, 0.7, 1.0])
+    def test_one_to_one_matches_bruteforce(self, line_topology, p):
+        qs = ThresholdQuorumSystem(5, 3)
+        placed = PlacedQuorumSystem(
+            qs, Placement([0, 1, 2, 3, 4]), line_topology
+        )
+        exact = threshold_availability(placed, p)
+        brute = brute_force_availability(placed, p)
+        assert exact == pytest.approx(brute, abs=1e-12)
+
+    @pytest.mark.parametrize("p", [0.1, 0.4])
+    def test_colocated_matches_bruteforce(self, line_topology, p):
+        qs = ThresholdQuorumSystem(5, 3)
+        placed = PlacedQuorumSystem(
+            qs, Placement([0, 0, 1, 1, 2]), line_topology
+        )
+        exact = threshold_availability(placed, p)
+        brute = brute_force_availability(placed, p)
+        assert exact == pytest.approx(brute, abs=1e-12)
+
+    def test_colocated_less_available(self, line_topology):
+        qs = ThresholdQuorumSystem(5, 3)
+        spread = PlacedQuorumSystem(
+            qs, Placement([0, 1, 2, 3, 4]), line_topology
+        )
+        packed = PlacedQuorumSystem(
+            qs, Placement([0, 0, 0, 1, 2]), line_topology
+        )
+        p = 0.2
+        assert threshold_availability(
+            packed, p
+        ) < threshold_availability(spread, p)
+
+    def test_monotone_in_failure_prob(self, line_topology):
+        qs = ThresholdQuorumSystem(7, 4)
+        placed = PlacedQuorumSystem(
+            qs, Placement(np.arange(7)), line_topology
+        )
+        values = [
+            threshold_availability(placed, p)
+            for p in (0.05, 0.2, 0.5, 0.8)
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_per_node_probabilities(self, line_topology):
+        qs = ThresholdQuorumSystem(3, 2)
+        placed = PlacedQuorumSystem(
+            qs, Placement([0, 1, 2]), line_topology
+        )
+        p = np.zeros(10)
+        p[0] = 1.0  # node 0 always dead: need both of the other two.
+        expected = 1.0  # nodes 1 and 2 never fail
+        assert threshold_availability(placed, p) == pytest.approx(expected)
+
+    def test_validation(self, line_topology):
+        qs = ThresholdQuorumSystem(3, 2)
+        placed = PlacedQuorumSystem(
+            qs, Placement([0, 1, 2]), line_topology
+        )
+        with pytest.raises(QuorumSystemError):
+            threshold_availability(placed, 1.5)
+        with pytest.raises(QuorumSystemError):
+            threshold_availability(placed, np.zeros(3))
+
+    def test_grid_rejected_by_threshold_api(self, line_topology):
+        placed = PlacedQuorumSystem(
+            GridQuorumSystem(2), Placement([0, 1, 2, 3]), line_topology
+        )
+        with pytest.raises(QuorumSystemError):
+            threshold_availability(placed, 0.1)
+
+
+class TestGenericAvailability:
+    def test_grid_monte_carlo_close_to_bruteforce(self, line_topology):
+        placed = PlacedQuorumSystem(
+            GridQuorumSystem(2), Placement([0, 1, 2, 3]), line_topology
+        )
+        p = 0.3
+        brute = brute_force_availability(placed, p)
+        estimate = availability(placed, p, samples=40_000, seed=1)
+        assert estimate == pytest.approx(brute, abs=0.02)
+
+    def test_threshold_dispatch_is_exact(self, line_topology):
+        qs = ThresholdQuorumSystem(5, 3)
+        placed = PlacedQuorumSystem(
+            qs, Placement(np.arange(5)), line_topology
+        )
+        assert availability(placed, 0.2) == pytest.approx(
+            threshold_availability(placed, 0.2)
+        )
+
+    def test_deterministic_given_seed(self, line_topology):
+        placed = PlacedQuorumSystem(
+            GridQuorumSystem(2), Placement([0, 1, 2, 3]), line_topology
+        )
+        a = availability(placed, 0.25, samples=5000, seed=9)
+        b = availability(placed, 0.25, samples=5000, seed=9)
+        assert a == b
+
+    def test_extremes(self, line_topology):
+        placed = PlacedQuorumSystem(
+            GridQuorumSystem(2), Placement([0, 1, 2, 3]), line_topology
+        )
+        assert availability(placed, 0.0, samples=100) == 1.0
+        assert availability(placed, 1.0, samples=100) == 0.0

@@ -1,0 +1,122 @@
+"""Tests for candidate-quorum subsystems (LP over large Majorities)."""
+
+import numpy as np
+import pytest
+
+from repro.core.placement import PlacedQuorumSystem, Placement
+from repro.core.response_time import evaluate
+from repro.core.strategy import (
+    ThresholdBalancedStrategy,
+    ThresholdClosestStrategy,
+)
+from repro.errors import StrategyError
+from repro.quorums.grid import GridQuorumSystem
+from repro.quorums.threshold import ThresholdQuorumSystem
+from repro.strategies.candidates import candidate_subsystem
+from repro.strategies.lp_optimizer import optimize_access_strategies
+from repro.strategies.simple import closest_strategy
+
+
+@pytest.fixture()
+def maj_placed(planetlab):
+    system = ThresholdQuorumSystem(21, 17)  # not enumerable: C(21,17) big
+    return PlacedQuorumSystem(
+        system, Placement(np.arange(21)), planetlab
+    )
+
+
+class TestConstruction:
+    def test_candidates_are_q_subsets(self, maj_placed):
+        sub = candidate_subsystem(maj_placed, random_extra=8)
+        q = maj_placed.system.quorum_size
+        for quorum in sub.system.quorums:
+            assert len(quorum) == q
+
+    def test_valid_quorum_system(self, maj_placed):
+        sub = candidate_subsystem(maj_placed, random_extra=4)
+        sub.system.validate()  # pairwise intersection inherited
+
+    def test_contains_every_closest_quorum(self, maj_placed):
+        sub = candidate_subsystem(maj_placed, random_extra=0)
+        q = maj_placed.system.quorum_size
+        dist = maj_placed.support_distances
+        quorums = set(sub.system.quorums)
+        for v in range(maj_placed.n_nodes):
+            closest = frozenset(
+                np.argsort(dist[v], kind="stable")[:q].tolist()
+            )
+            assert closest in quorums
+
+    def test_same_placement_and_topology(self, maj_placed):
+        sub = candidate_subsystem(maj_placed)
+        assert sub.placement is maj_placed.placement
+        assert sub.topology is maj_placed.topology
+
+    def test_deterministic(self, maj_placed):
+        a = candidate_subsystem(maj_placed, random_extra=16, seed=3)
+        b = candidate_subsystem(maj_placed, random_extra=16, seed=3)
+        assert a.system.quorums == b.system.quorums
+
+    def test_rejects_non_threshold(self, planetlab):
+        placed = PlacedQuorumSystem(
+            GridQuorumSystem(3), Placement(np.arange(9)), planetlab
+        )
+        with pytest.raises(StrategyError):
+            candidate_subsystem(placed)
+
+    def test_rejects_many_to_one(self, planetlab):
+        system = ThresholdQuorumSystem(5, 3)
+        placed = PlacedQuorumSystem(
+            system, Placement([0, 0, 1, 2, 3]), planetlab
+        )
+        with pytest.raises(StrategyError):
+            candidate_subsystem(placed)
+
+
+class TestLPOverCandidates:
+    def test_unconstrained_lp_matches_closest(self, maj_placed):
+        """With capacity 1 the LP over candidates reproduces the implicit
+        closest strategy's network delay exactly (closest quorums are in
+        the candidate set)."""
+        sub = candidate_subsystem(maj_placed, random_extra=0)
+        strat = optimize_access_strategies(sub, 1.0)
+        lp_delay = evaluate(sub, strat).avg_network_delay
+        closest_delay = evaluate(
+            maj_placed, ThresholdClosestStrategy()
+        ).avg_network_delay
+        assert lp_delay == pytest.approx(closest_delay, abs=1e-6)
+
+    def test_capacity_bound_respected(self, maj_placed):
+        sub = candidate_subsystem(maj_placed, random_extra=8)
+        cap = 0.85
+        strat = optimize_access_strategies(sub, cap)
+        loads = strat.node_loads(sub)
+        assert np.all(loads <= cap + 1e-6)
+
+    def test_lp_beats_balanced_at_balanced_load(self, maj_placed):
+        """Capacity = q/n (the balanced strategy's load) lets the LP find
+        strategies at least as good as balanced."""
+        system = maj_placed.system
+        cap = system.quorum_size / system.universe_size
+        sub = candidate_subsystem(maj_placed, random_extra=16)
+        strat = optimize_access_strategies(sub, cap + 1e-9)
+        lp_delay = evaluate(sub, strat).avg_network_delay
+        balanced_delay = evaluate(
+            maj_placed, ThresholdBalancedStrategy()
+        ).avg_network_delay
+        assert lp_delay <= balanced_delay + 1e-6
+
+    def test_response_time_improves_at_high_demand(self, maj_placed):
+        """At demand 16000, LP-over-candidates beats the closest strategy
+        (the same effect the paper shows for the Grid)."""
+        alpha = 112.0
+        sub = candidate_subsystem(maj_placed, random_extra=16)
+        closest_resp = evaluate(
+            maj_placed, closest_strategy(maj_placed), alpha=alpha
+        ).avg_response_time
+        best = np.inf
+        for cap in (0.82, 0.9, 1.0):
+            strat = optimize_access_strategies(sub, cap)
+            resp = evaluate(sub, strat, alpha=alpha).avg_response_time
+            best = min(best, resp)
+        assert best <= closest_resp + 1e-6

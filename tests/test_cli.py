@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_system
+from repro.errors import ReproError
+from repro.quorums.grid import GridQuorumSystem
+from repro.quorums.threshold import ThresholdQuorumSystem
+
+
+class TestParseSystem:
+    def test_grid(self):
+        system = parse_system("grid:4")
+        assert isinstance(system, GridQuorumSystem)
+        assert system.k == 4
+
+    def test_majority_kinds(self):
+        assert parse_system("majority:simple:2").universe_size == 5
+        assert parse_system("majority:bft:2").universe_size == 7
+        assert parse_system("majority:qu:2").universe_size == 11
+
+    def test_case_insensitive(self):
+        assert isinstance(parse_system("GRID:3"), GridQuorumSystem)
+        assert isinstance(
+            parse_system("Majority:QU:1"), ThresholdQuorumSystem
+        )
+
+    def test_bad_specs(self):
+        for spec in ("grid", "grid:2:3", "majority:nope:1", "ring:5"):
+            with pytest.raises(ReproError):
+                parse_system(spec)
+
+
+class TestCommands:
+    def test_topologies(self, capsys):
+        assert main(["topologies"]) == 0
+        out = capsys.readouterr().out
+        assert "planetlab-50" in out
+        assert "daxlist-161" in out
+
+    def test_systems(self, capsys):
+        assert main(["systems", "--max-universe", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "grid:4" in out
+        assert "majority:simple:1" in out
+        assert "majority:qu:3" in out
+        assert "majority:qu:4" not in out  # universe 21 > 16
+
+    def test_plan_grid_lp(self, capsys):
+        code = main(
+            ["plan", "--system", "grid:3", "--demand", "1000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Grid 3x3" in out
+        assert "response time" in out
+        assert "crash tolerance" in out
+        assert "LP-tuned" in out
+
+    def test_plan_closest_strategy(self, capsys):
+        code = main(
+            ["plan", "--system", "grid:2", "--strategy", "closest"]
+        )
+        assert code == 0
+        assert "closest" in capsys.readouterr().out
+
+    def test_plan_majority_falls_back_from_lp(self, capsys):
+        code = main(["plan", "--system", "majority:simple:2"])
+        assert code == 0
+        assert "LP unavailable" in capsys.readouterr().out
+
+    def test_plan_many_to_one(self, capsys):
+        code = main(
+            ["plan", "--system", "grid:3", "--many-to-one", "2.0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "many-to-one" in out
+
+    def test_plan_bad_system_spec_errors(self, capsys):
+        code = main(["plan", "--system", "ring:7"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

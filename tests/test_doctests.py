@@ -1,0 +1,19 @@
+"""Run the doctests embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.cli
+import repro.quorums.threshold
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.quorums.threshold, repro.cli],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0

@@ -1,0 +1,197 @@
+"""Tests for the generic quorum-protocol simulator, including
+cross-validation of the analytic response-time model (4.1)-(4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.placement import PlacedQuorumSystem, Placement
+from repro.core.response_time import evaluate
+from repro.core.strategy import (
+    ExplicitStrategy,
+    ThresholdBalancedStrategy,
+    ThresholdClosestStrategy,
+)
+from repro.errors import SimulationError
+from repro.quorums.grid import GridQuorumSystem
+from repro.quorums.threshold import ThresholdQuorumSystem
+from repro.sim.generic import GenericQuorumSimulation
+
+
+@pytest.fixture()
+def grid2_placed(line_topology):
+    return PlacedQuorumSystem(
+        GridQuorumSystem(2), Placement([0, 1, 2, 3]), line_topology
+    )
+
+
+@pytest.fixture()
+def maj_placed(line_topology):
+    return PlacedQuorumSystem(
+        ThresholdQuorumSystem(5, 3),
+        Placement([0, 2, 4, 6, 8]),
+        line_topology,
+    )
+
+
+class TestConstruction:
+    def test_default_clients_everywhere(self, grid2_placed):
+        sim = GenericQuorumSimulation(
+            grid2_placed, ExplicitStrategy.uniform(grid2_placed)
+        )
+        assert len(sim.clients) == 10
+
+    def test_empty_clients_rejected(self, grid2_placed):
+        with pytest.raises(SimulationError):
+            GenericQuorumSimulation(
+                grid2_placed,
+                ExplicitStrategy.uniform(grid2_placed),
+                client_nodes=np.array([], dtype=int),
+            )
+
+    def test_negative_service_time_rejected(self, grid2_placed):
+        with pytest.raises(SimulationError):
+            GenericQuorumSimulation(
+                grid2_placed,
+                ExplicitStrategy.uniform(grid2_placed),
+                service_time_ms=-1.0,
+            )
+
+
+class TestModelCrossValidation:
+    def test_closest_strategy_matches_analytic_at_low_load(
+        self, grid2_placed
+    ):
+        """One client, negligible service time: simulated mean response ==
+        analytic network delay of the closest strategy."""
+        strategy = ExplicitStrategy.closest(grid2_placed)
+        sim = GenericQuorumSimulation(
+            grid2_placed,
+            strategy,
+            client_nodes=np.array([7]),
+            service_time_ms=0.0,
+        )
+        result = sim.run(duration_ms=2000.0, warmup_ms=100.0)
+        analytic = evaluate(
+            grid2_placed, strategy, clients=np.array([7])
+        ).avg_network_delay
+        assert result.stats.mean_response_ms == pytest.approx(
+            analytic, rel=1e-6
+        )
+
+    def test_balanced_strategy_converges_to_analytic(self, maj_placed):
+        """Random-quorum sampling converges to the order-statistics
+        expectation (law of large numbers)."""
+        strategy = ThresholdBalancedStrategy()
+        sim = GenericQuorumSimulation(
+            maj_placed,
+            strategy,
+            client_nodes=np.array([0]),
+            service_time_ms=0.0,
+            seed=5,
+        )
+        result = sim.run(duration_ms=60_000.0, warmup_ms=0.0)
+        analytic = evaluate(
+            maj_placed, strategy, clients=np.array([0])
+        ).avg_network_delay
+        assert result.stats.mean_network_delay_ms == pytest.approx(
+            analytic, rel=0.05
+        )
+
+    def test_observed_load_matches_model(self, grid2_placed):
+        """Per-node request rates are proportional to load_f(w)."""
+        strategy = ExplicitStrategy.uniform(grid2_placed)
+        sim = GenericQuorumSimulation(
+            grid2_placed, strategy, service_time_ms=0.0, seed=3
+        )
+        result = sim.run(duration_ms=20_000.0, warmup_ms=0.0)
+        model_loads = strategy.node_loads(grid2_placed)
+        support = grid2_placed.placement.support_set
+        observed = result.per_node_request_rate[support]
+        expected = model_loads[support]
+        # Compare normalized shapes (rates scale with throughput).
+        observed = observed / observed.sum()
+        expected = expected / expected.sum()
+        assert np.allclose(observed, expected, atol=0.02)
+
+    def test_threshold_closest_deterministic_quorum(self, maj_placed):
+        strategy = ThresholdClosestStrategy()
+        sim = GenericQuorumSimulation(
+            maj_placed,
+            strategy,
+            client_nodes=np.array([0]),
+            service_time_ms=0.0,
+        )
+        result = sim.run(duration_ms=2000.0, warmup_ms=0.0)
+        # Closest quorum of client 0 is support nodes {0, 2, 4}: max RTT 40.
+        assert result.stats.mean_network_delay_ms == pytest.approx(40.0)
+
+
+class TestQueueingBehaviour:
+    def test_service_time_adds_to_response(self, grid2_placed):
+        strategy = ExplicitStrategy.closest(grid2_placed)
+        fast = GenericQuorumSimulation(
+            grid2_placed,
+            strategy,
+            client_nodes=np.array([7]),
+            service_time_ms=0.0,
+        ).run(duration_ms=1500.0, warmup_ms=100.0)
+        slow = GenericQuorumSimulation(
+            grid2_placed,
+            strategy,
+            client_nodes=np.array([7]),
+            service_time_ms=5.0,
+        ).run(duration_ms=1500.0, warmup_ms=100.0)
+        assert (
+            slow.stats.mean_response_ms
+            >= fast.stats.mean_response_ms + 5.0 - 1e-6
+        )
+
+    def test_balanced_disperses_load_vs_closest(self, grid2_placed):
+        """Under many clients, balanced spreads requests more evenly
+        across servers than closest (lower max/mean rate ratio)."""
+
+        def spread(strategy):
+            sim = GenericQuorumSimulation(
+                grid2_placed, strategy, service_time_ms=0.1, seed=2
+            )
+            result = sim.run(duration_ms=5000.0, warmup_ms=500.0)
+            support = grid2_placed.placement.support_set
+            rates = result.per_node_request_rate[support]
+            return rates.max() / rates.mean()
+
+        assert spread(ExplicitStrategy.uniform(grid2_placed)) <= spread(
+            ExplicitStrategy.closest(grid2_placed)
+        )
+
+    def test_coalescing_reduces_work(self, line_topology):
+        placed = PlacedQuorumSystem(
+            GridQuorumSystem(2), Placement([0, 0, 1, 1]), line_topology
+        )
+        strategy = ExplicitStrategy.uniform(placed)
+
+        def utilization(coalesce):
+            sim = GenericQuorumSimulation(
+                placed,
+                strategy,
+                client_nodes=np.arange(10),
+                service_time_ms=1.0,
+                coalesce=coalesce,
+                seed=4,
+            )
+            result = sim.run(duration_ms=3000.0, warmup_ms=300.0)
+            return result.server_utilizations.mean()
+
+        assert utilization(True) < utilization(False)
+
+    def test_deterministic_given_seed(self, grid2_placed):
+        def run_once():
+            sim = GenericQuorumSimulation(
+                grid2_placed,
+                ExplicitStrategy.uniform(grid2_placed),
+                seed=11,
+            )
+            return sim.run(
+                duration_ms=1000.0, warmup_ms=0.0
+            ).stats.mean_response_ms
+
+        assert run_once() == run_once()

@@ -1,0 +1,112 @@
+"""Tests for the iterative placement/strategy algorithm (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.iterative import iterative_optimize
+from repro.core.response_time import evaluate
+from repro.placement.search import best_placement, uniform_strategy_for
+from repro.quorums.grid import GridQuorumSystem
+
+
+CANDIDATES = np.arange(6)  # keep the per-iteration LP count small
+
+
+class TestIterative:
+    def test_runs_and_terminates(self, line_topology):
+        result = iterative_optimize(
+            line_topology,
+            GridQuorumSystem(2),
+            capacities=1.0,
+            alpha=7.0,
+            candidates=CANDIDATES,
+            max_iterations=5,
+        )
+        assert 1 <= result.iterations_run <= 5
+
+    def test_history_response_times_improve_until_stop(self, line_topology):
+        result = iterative_optimize(
+            line_topology,
+            GridQuorumSystem(2),
+            capacities=1.0,
+            alpha=7.0,
+            candidates=CANDIDATES,
+        )
+        history = result.history
+        # Strictly improving until the last (non-improving) record.
+        for prev, cur in zip(history, history[1:-1]):
+            assert cur.response_time < prev.response_time
+
+    def test_returns_best_iteration(self, line_topology):
+        result = iterative_optimize(
+            line_topology,
+            GridQuorumSystem(2),
+            capacities=1.0,
+            alpha=7.0,
+            candidates=CANDIDATES,
+        )
+        assert result.response_time == pytest.approx(
+            min(rec.response_time for rec in result.history)
+        )
+
+    def test_phase2_never_hurts_network_delay(self, line_topology):
+        result = iterative_optimize(
+            line_topology,
+            GridQuorumSystem(2),
+            capacities=1.0,
+            alpha=0.0,
+            candidates=CANDIDATES,
+        )
+        for rec in result.history:
+            assert (
+                rec.phase2_network_delay <= rec.phase1_network_delay + 1e-6
+            )
+
+    def test_final_strategy_consistent_with_placement(self, line_topology):
+        result = iterative_optimize(
+            line_topology,
+            GridQuorumSystem(2),
+            capacities=1.0,
+            alpha=7.0,
+            candidates=CANDIDATES,
+        )
+        again = evaluate(result.placed, result.strategy, alpha=7.0)
+        assert again.avg_response_time == pytest.approx(
+            result.response_time
+        )
+
+    def test_many_to_one_improves_on_one_to_one(self, planetlab):
+        """Figure 8.9's headline: the iterative result's network delay
+        beats the one-to-one placement's uniform delay."""
+        system = GridQuorumSystem(4)
+        o2o = best_placement(planetlab, system).placed
+        o2o_delay = evaluate(
+            o2o, uniform_strategy_for(o2o)
+        ).avg_network_delay
+        result = iterative_optimize(
+            planetlab,
+            system,
+            capacities=0.8,
+            alpha=0.0,
+            candidates=np.arange(8),
+            max_iterations=2,
+        )
+        final_delay = result.history[0].phase2_network_delay
+        assert final_delay < o2o_delay
+
+    def test_scalar_and_vector_capacities_agree(self, line_topology):
+        a = iterative_optimize(
+            line_topology,
+            GridQuorumSystem(2),
+            capacities=0.9,
+            alpha=7.0,
+            candidates=CANDIDATES,
+        )
+        b = iterative_optimize(
+            line_topology,
+            GridQuorumSystem(2),
+            capacities=np.full(10, 0.9),
+            alpha=7.0,
+            candidates=CANDIDATES,
+        )
+        assert a.response_time == pytest.approx(b.response_time)

@@ -1,0 +1,88 @@
+"""Tests for optimal-load computation (closed forms vs LP)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuorumSystemError
+from repro.quorums.base import EnumeratedQuorumSystem
+from repro.quorums.grid import GridQuorumSystem
+from repro.quorums.load_analysis import (
+    load_of_strategy,
+    optimal_load,
+)
+from repro.quorums.singleton import SingletonQuorumSystem
+from repro.quorums.threshold import ThresholdQuorumSystem
+
+
+class TestClosedForms:
+    def test_singleton(self):
+        assert optimal_load(SingletonQuorumSystem()).l_opt == 1.0
+
+    @pytest.mark.parametrize("n,q", [(3, 2), (5, 3), (21, 17), (49, 25)])
+    def test_threshold(self, n, q):
+        qs = ThresholdQuorumSystem(n, q)
+        assert optimal_load(qs).l_opt == pytest.approx(q / n)
+
+    @pytest.mark.parametrize("k", [2, 3, 5, 7])
+    def test_grid(self, k):
+        g = GridQuorumSystem(k)
+        analysis = optimal_load(g)
+        assert analysis.l_opt == pytest.approx((2 * k - 1) / k**2)
+        # The witnessing strategy attains the claimed load.
+        assert load_of_strategy(g, analysis.strategy) == pytest.approx(
+            analysis.l_opt
+        )
+
+
+class TestLPCrossValidation:
+    @pytest.mark.parametrize("n,q", [(3, 2), (5, 3), (7, 4)])
+    def test_threshold_lp_matches_closed_form(self, n, q):
+        qs = ThresholdQuorumSystem(n, q)
+        assert optimal_load(qs, use_lp=True).l_opt == pytest.approx(
+            q / n, abs=1e-9
+        )
+
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_grid_lp_matches_closed_form(self, k):
+        g = GridQuorumSystem(k)
+        assert optimal_load(g, use_lp=True).l_opt == pytest.approx(
+            (2 * k - 1) / k**2, abs=1e-9
+        )
+
+    def test_lp_strategy_is_distribution(self):
+        analysis = optimal_load(GridQuorumSystem(3), use_lp=True)
+        assert analysis.strategy is not None
+        assert analysis.strategy.sum() == pytest.approx(1.0)
+        assert np.all(analysis.strategy >= -1e-9)
+
+    def test_asymmetric_system(self):
+        # Quorums {0,1}, {0,2}: element 0 is in every quorum, L_opt = 1.
+        qs = EnumeratedQuorumSystem(
+            [frozenset({0, 1}), frozenset({0, 2})], name="star"
+        )
+        assert optimal_load(qs, use_lp=True).l_opt == pytest.approx(1.0)
+
+    def test_non_enumerable_lp_rejected(self):
+        qs = ThresholdQuorumSystem(49, 25)
+        with pytest.raises(QuorumSystemError):
+            optimal_load(qs, use_lp=True)
+
+
+class TestLoadOfStrategy:
+    def test_uniform_grid(self):
+        g = GridQuorumSystem(3)
+        uniform = np.full(9, 1.0 / 9.0)
+        assert load_of_strategy(g, uniform) == pytest.approx(5 / 9)
+
+    def test_point_mass(self):
+        g = GridQuorumSystem(3)
+        p = np.zeros(9)
+        p[0] = 1.0
+        assert load_of_strategy(g, p) == pytest.approx(1.0)
+
+    def test_invalid_strategy_rejected(self):
+        g = GridQuorumSystem(2)
+        with pytest.raises(QuorumSystemError):
+            load_of_strategy(g, np.array([0.5, 0.5]))  # wrong length
+        with pytest.raises(QuorumSystemError):
+            load_of_strategy(g, np.full(4, 0.3))  # does not sum to 1

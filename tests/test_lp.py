@@ -1,0 +1,126 @@
+"""Tests for the sparse LP layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InfeasibleError, SolverError
+from repro.lp import LinearProgram, solve
+
+
+class TestVariableBlocks:
+    def test_block_indexing_2d(self):
+        lp = LinearProgram()
+        x = lp.add_block("x", (3, 4))
+        assert x.index(0, 0) == 0
+        assert x.index(1, 0) == 4
+        assert x.index(2, 3) == 11
+
+    def test_blocks_are_contiguous(self):
+        lp = LinearProgram()
+        a = lp.add_block("a", 3)
+        b = lp.add_block("b", (2, 2))
+        assert a.index(2) == 2
+        assert b.index(0, 0) == 3
+        assert lp.n_variables == 7
+
+    def test_duplicate_block_rejected(self):
+        lp = LinearProgram()
+        lp.add_block("x", 2)
+        with pytest.raises(SolverError):
+            lp.add_block("x", 2)
+
+    def test_unknown_block_lookup(self):
+        lp = LinearProgram()
+        with pytest.raises(SolverError):
+            lp.block("nope")
+
+    def test_wrong_arity_index(self):
+        lp = LinearProgram()
+        x = lp.add_block("x", (2, 2))
+        with pytest.raises(SolverError):
+            x.index(1)
+
+    def test_reshape_extracts_block(self):
+        lp = LinearProgram()
+        lp.add_block("a", 2)
+        b = lp.add_block("b", (2, 2))
+        flat = np.arange(6, dtype=float)
+        assert np.array_equal(b.reshape(flat), [[2.0, 3.0], [4.0, 5.0]])
+
+
+class TestSolve:
+    def test_simple_minimization(self):
+        # min x + 2y  s.t. x + y >= 1, x,y >= 0  -> x=1, y=0.
+        lp = LinearProgram()
+        v = lp.add_block("v", 2)
+        lp.set_objective(v.index(0), 1.0)
+        lp.set_objective(v.index(1), 2.0)
+        lp.add_le([v.index(0), v.index(1)], [-1.0, -1.0], -1.0)
+        sol = solve(lp)
+        assert sol.objective == pytest.approx(1.0)
+        assert sol.x[0] == pytest.approx(1.0)
+
+    def test_equality_constraint(self):
+        # min x  s.t. x + y == 2, y <= 0.5  -> x = 1.5.
+        lp = LinearProgram()
+        v = lp.add_block("v", 2)
+        lp.set_objective(v.index(0), 1.0)
+        lp.add_eq([v.index(0), v.index(1)], [1.0, 1.0], 2.0)
+        lp.add_le([v.index(1)], [1.0], 0.5)
+        sol = solve(lp)
+        assert sol.x[0] == pytest.approx(1.5)
+
+    def test_bounds_respected(self):
+        lp = LinearProgram()
+        v = lp.add_block("v", 1, lower=2.0, upper=5.0)
+        lp.set_objective(v.index(0), 1.0)
+        sol = solve(lp)
+        assert sol.x[0] == pytest.approx(2.0)
+
+    def test_infeasible_raises(self):
+        lp = LinearProgram()
+        v = lp.add_block("v", 1, lower=0.0, upper=1.0)
+        lp.set_objective(v.index(0), 1.0)
+        lp.add_eq([v.index(0)], [1.0], 5.0)
+        with pytest.raises(InfeasibleError):
+            solve(lp)
+
+    def test_unbounded_raises(self):
+        lp = LinearProgram()
+        v = lp.add_block("v", 1, lower=-np.inf, upper=np.inf)
+        lp.set_objective(v.index(0), 1.0)
+        with pytest.raises(SolverError):
+            solve(lp)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(SolverError):
+            LinearProgram().build()
+
+    def test_objective_accumulates(self):
+        lp = LinearProgram()
+        v = lp.add_block("v", 1, lower=1.0, upper=1.0)
+        lp.set_objective(v.index(0), 1.0)
+        lp.set_objective(v.index(0), 2.0)
+        sol = solve(lp)
+        assert sol.objective == pytest.approx(3.0)
+
+    def test_block_values_helper(self):
+        lp = LinearProgram()
+        lp.add_block("a", 1, lower=1.0, upper=1.0)
+        b = lp.add_block("b", (2,), lower=2.0, upper=2.0)
+        lp.set_objective(b.index(0), 1.0)
+        sol = solve(lp)
+        assert np.allclose(sol.block_values(lp, "b"), [2.0, 2.0])
+
+    def test_mismatched_row_rejected(self):
+        lp = LinearProgram()
+        v = lp.add_block("v", 2)
+        with pytest.raises(SolverError):
+            lp.add_le([v.index(0)], [1.0, 2.0], 0.0)
+
+    def test_constraint_counts(self):
+        lp = LinearProgram()
+        v = lp.add_block("v", 2)
+        lp.add_le([v.index(0)], [1.0], 1.0)
+        lp.add_eq([v.index(1)], [1.0], 0.5)
+        assert lp.n_constraints == 2

@@ -1,0 +1,146 @@
+"""Tests for synthetic topology generation and geographic helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.generators import ClusterSpec, generate_cluster_topology
+from repro.network.geo import (
+    EARTH_RADIUS_KM,
+    great_circle_km,
+    pairwise_great_circle_km,
+    propagation_rtt_ms,
+)
+
+
+TWO_CLUSTERS = [
+    ClusterSpec("east", 40.0, -74.0, 1.0, 0.5),
+    ClusterSpec("west", 37.0, -122.0, 1.0, 0.5),
+]
+
+
+class TestGeo:
+    def test_zero_distance(self):
+        assert great_circle_km(10.0, 20.0, 10.0, 20.0) == 0.0
+
+    def test_symmetric(self):
+        a = great_circle_km(40.0, -74.0, 51.5, 0.0)
+        b = great_circle_km(51.5, 0.0, 40.0, -74.0)
+        assert a == pytest.approx(b)
+
+    def test_antipodal_half_circumference(self):
+        d = great_circle_km(0.0, 0.0, 0.0, 180.0)
+        assert d == pytest.approx(np.pi * EARTH_RADIUS_KM, rel=1e-6)
+
+    def test_known_distance_ny_london(self):
+        # New York <-> London is about 5570 km.
+        d = great_circle_km(40.71, -74.0, 51.5, -0.13)
+        assert 5300 < d < 5800
+
+    def test_pairwise_matches_scalar(self):
+        lats = np.array([40.0, 51.5, -33.9])
+        lons = np.array([-74.0, 0.0, 151.2])
+        matrix = pairwise_great_circle_km(lats, lons)
+        for i in range(3):
+            for j in range(3):
+                expected = great_circle_km(
+                    lats[i], lons[i], lats[j], lons[j]
+                )
+                assert matrix[i, j] == pytest.approx(expected, rel=1e-9)
+
+    def test_propagation_rtt(self):
+        # 1000 km geodesic -> 2 * 1000/200 = 10 ms RTT.
+        assert propagation_rtt_ms(1000.0) == pytest.approx(10.0)
+
+
+class TestClusterSpec:
+    def test_invalid_latitude(self):
+        with pytest.raises(TopologyError):
+            ClusterSpec("x", 91.0, 0.0, 1.0, 1.0)
+
+    def test_invalid_longitude(self):
+        with pytest.raises(TopologyError):
+            ClusterSpec("x", 0.0, 200.0, 1.0, 1.0)
+
+    def test_negative_spread(self):
+        with pytest.raises(TopologyError):
+            ClusterSpec("x", 0.0, 0.0, -1.0, 1.0)
+
+    def test_nonpositive_weight(self):
+        with pytest.raises(TopologyError):
+            ClusterSpec("x", 0.0, 0.0, 1.0, 0.0)
+
+
+class TestGenerator:
+    def test_deterministic_for_seed(self):
+        a = generate_cluster_topology(20, TWO_CLUSTERS, seed=5)
+        b = generate_cluster_topology(20, TWO_CLUSTERS, seed=5)
+        assert np.array_equal(a.rtt, b.rtt)
+        assert a.names == b.names
+
+    def test_different_seeds_differ(self):
+        a = generate_cluster_topology(20, TWO_CLUSTERS, seed=5)
+        b = generate_cluster_topology(20, TWO_CLUSTERS, seed=6)
+        assert not np.array_equal(a.rtt, b.rtt)
+
+    def test_site_count(self):
+        topo = generate_cluster_topology(33, TWO_CLUSTERS, seed=1)
+        assert topo.n_nodes == 33
+
+    def test_names_encode_clusters(self):
+        topo = generate_cluster_topology(10, TWO_CLUSTERS, seed=1)
+        assert any(name.startswith("east-") for name in topo.names)
+        assert any(name.startswith("west-") for name in topo.names)
+
+    def test_metric_property_holds(self):
+        topo = generate_cluster_topology(25, TWO_CLUSTERS, seed=2)
+        topo.validate_metric()
+
+    def test_intercluster_far_exceeds_intracluster(self):
+        topo = generate_cluster_topology(30, TWO_CLUSTERS, seed=3)
+        east = [i for i, n in enumerate(topo.names) if n.startswith("east")]
+        west = [i for i, n in enumerate(topo.names) if n.startswith("west")]
+        intra = topo.rtt[np.ix_(east, east)]
+        inter = topo.rtt[np.ix_(east, west)]
+        intra_mean = intra[intra > 0].mean()
+        assert inter.mean() > 3 * intra_mean
+
+    def test_every_cluster_gets_a_site(self):
+        clusters = [
+            ClusterSpec("big", 0.0, 0.0, 1.0, 100.0),
+            ClusterSpec("tiny", 50.0, 50.0, 1.0, 0.001),
+        ]
+        topo = generate_cluster_topology(10, clusters, seed=4)
+        assert any(n.startswith("tiny-") for n in topo.names)
+
+    def test_min_rtt_clamp(self):
+        topo = generate_cluster_topology(
+            15,
+            [ClusterSpec("one", 0.0, 0.0, 0.0, 1.0)],
+            seed=9,
+            jitter_ms=0.0,
+            access_delay_ms_range=(0.0, 0.0),
+            min_rtt_ms=2.5,
+        )
+        off_diag = topo.rtt[~np.eye(15, dtype=bool)]
+        assert off_diag.min() >= 2.5 - 1e-9
+
+    def test_bad_inflation_rejected(self):
+        with pytest.raises(TopologyError):
+            generate_cluster_topology(
+                5, TWO_CLUSTERS, seed=1, inflation_range=(0.5, 2.0)
+            )
+
+    def test_bad_access_range_rejected(self):
+        with pytest.raises(TopologyError):
+            generate_cluster_topology(
+                5, TWO_CLUSTERS, seed=1, access_delay_ms_range=(2.0, 1.0)
+            )
+
+    def test_no_clusters_rejected(self):
+        with pytest.raises(TopologyError):
+            generate_cluster_topology(5, [], seed=1)
+
+    def test_zero_sites_rejected(self):
+        with pytest.raises(TopologyError):
+            generate_cluster_topology(0, TWO_CLUSTERS, seed=1)

@@ -1,0 +1,94 @@
+"""Tests for topology serialization and the king noise model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.graph import Topology
+from repro.network.io import load_rtt_matrix, save_rtt_matrix
+from repro.network.king import king_estimate
+
+
+@pytest.fixture()
+def small_topology():
+    m = np.array(
+        [
+            [0.0, 12.0, 30.0],
+            [12.0, 0.0, 25.0],
+            [30.0, 25.0, 0.0],
+        ]
+    )
+    return Topology(
+        m, names=["a", "b", "c"], capacities=[1.0, 0.5, 0.25]
+    )
+
+
+class TestNpzRoundTrip:
+    def test_round_trip(self, small_topology, tmp_path):
+        path = tmp_path / "topo.npz"
+        save_rtt_matrix(small_topology, path)
+        loaded = load_rtt_matrix(path, metric_closure=False)
+        assert np.allclose(loaded.rtt, small_topology.rtt)
+        assert loaded.names == small_topology.names
+        assert np.allclose(loaded.capacities, small_topology.capacities)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TopologyError):
+            load_rtt_matrix(tmp_path / "absent.npz")
+
+
+class TestTxtRoundTrip:
+    def test_round_trip(self, small_topology, tmp_path):
+        path = tmp_path / "topo.txt"
+        save_rtt_matrix(small_topology, path)
+        loaded = load_rtt_matrix(path, metric_closure=False)
+        assert np.allclose(loaded.rtt, small_topology.rtt, atol=1e-5)
+        assert loaded.names == small_topology.names
+
+    def test_txt_without_names(self, tmp_path):
+        path = tmp_path / "raw.txt"
+        path.write_text("0 5\n5 0\n")
+        loaded = load_rtt_matrix(path)
+        assert loaded.n_nodes == 2
+        assert loaded.distance(0, 1) == 5.0
+
+    def test_unsupported_suffix(self, small_topology, tmp_path):
+        with pytest.raises(TopologyError):
+            save_rtt_matrix(small_topology, tmp_path / "topo.csv")
+        (tmp_path / "topo.csv").write_text("x")
+        with pytest.raises(TopologyError):
+            load_rtt_matrix(tmp_path / "topo.csv")
+
+
+class TestKingEstimate:
+    def test_deterministic(self, small_topology):
+        a = king_estimate(small_topology, seed=3)
+        b = king_estimate(small_topology, seed=3)
+        assert np.array_equal(a.rtt, b.rtt)
+
+    def test_preserves_shape_and_names(self, small_topology):
+        est = king_estimate(small_topology, seed=3)
+        assert est.n_nodes == small_topology.n_nodes
+        assert est.names == small_topology.names
+
+    def test_zero_sigma_no_outliers_is_identityish(self, small_topology):
+        est = king_estimate(
+            small_topology, seed=3, sigma=0.0, outlier_fraction=0.0
+        )
+        # Metric closure may shorten paths, never lengthen them.
+        assert np.all(est.rtt <= small_topology.rtt + 1e-9)
+
+    def test_error_magnitude_controlled(self, small_topology):
+        est = king_estimate(
+            small_topology, seed=3, sigma=0.05, outlier_fraction=0.0
+        )
+        ratio = est.rtt[0, 1] / small_topology.rtt[0, 1]
+        assert 0.7 < ratio < 1.3
+
+    def test_parameter_validation(self, small_topology):
+        with pytest.raises(ValueError):
+            king_estimate(small_topology, seed=1, sigma=-1.0)
+        with pytest.raises(ValueError):
+            king_estimate(small_topology, seed=1, outlier_fraction=2.0)
+        with pytest.raises(ValueError):
+            king_estimate(small_topology, seed=1, outlier_scale=0.5)

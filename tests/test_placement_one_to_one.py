@@ -1,0 +1,199 @@
+"""Tests for one-to-one placement constructions and the best-v0 search."""
+
+import numpy as np
+import pytest
+
+from repro.core.placement import PlacedQuorumSystem
+from repro.core.response_time import average_network_delay
+from repro.errors import PlacementError
+from repro.placement.one_to_one import (
+    grid_onion_placement,
+    majority_ball_placement,
+    one_to_one_placement,
+)
+from repro.placement.search import best_placement, uniform_strategy_for
+from repro.placement.singleton import collapse_to_median, singleton_placement
+from repro.quorums.grid import GridQuorumSystem
+from repro.quorums.singleton import SingletonQuorumSystem
+from repro.quorums.threshold import ThresholdQuorumSystem
+
+
+class TestMajorityBall:
+    def test_support_is_ball(self, line_topology):
+        maj = ThresholdQuorumSystem(5, 3)
+        placement = majority_ball_placement(line_topology, maj, v0=0)
+        assert sorted(placement.assignment) == [0, 1, 2, 3, 4]
+        assert placement.is_one_to_one
+
+    def test_interior_ball(self, line_topology):
+        maj = ThresholdQuorumSystem(3, 2)
+        placement = majority_ball_placement(line_topology, maj, v0=5)
+        assert 5 in placement.assignment
+        assert len(placement.assignment) == 3
+
+    def test_capacity_filter(self, line_topology):
+        # Nodes 1 and 2 too small to host load q/n = 0.6.
+        caps = np.ones(10)
+        caps[1] = caps[2] = 0.1
+        topo = line_topology.with_capacities(caps)
+        maj = ThresholdQuorumSystem(5, 3)
+        placement = majority_ball_placement(topo, maj, v0=0)
+        assert 1 not in placement.assignment
+        assert 2 not in placement.assignment
+
+    def test_capacity_filter_disabled(self, line_topology):
+        caps = np.full(10, 0.01)
+        topo = line_topology.with_capacities(caps)
+        maj = ThresholdQuorumSystem(5, 3)
+        placement = majority_ball_placement(
+            topo, maj, v0=0, respect_capacities=False
+        )
+        assert sorted(placement.assignment) == [0, 1, 2, 3, 4]
+
+    def test_universe_too_large(self, line_topology):
+        maj = ThresholdQuorumSystem(11, 6)
+        with pytest.raises(PlacementError):
+            majority_ball_placement(line_topology, maj, v0=0)
+
+    def test_wrong_system_type(self, line_topology):
+        with pytest.raises(PlacementError):
+            majority_ball_placement(
+                line_topology, GridQuorumSystem(2), v0=0
+            )
+
+
+class TestGridOnion:
+    def test_support_is_ball(self, line_topology):
+        grid = GridQuorumSystem(3)
+        placement = grid_onion_placement(line_topology, grid, v0=0)
+        assert sorted(placement.assignment) == list(range(9))
+        assert placement.is_one_to_one
+
+    def test_farthest_node_in_top_left(self, line_topology):
+        grid = GridQuorumSystem(3)
+        placement = grid_onion_placement(line_topology, grid, v0=0)
+        # Ball of 9 around node 0 = nodes 0..8; farthest is node 8.
+        assert placement.node_of(grid.element(0, 0)) == 8
+
+    def test_last_row_and_column_are_nearest(self, line_topology):
+        grid = GridQuorumSystem(3)
+        placement = grid_onion_placement(line_topology, grid, v0=0)
+        k = 3
+        closing_cells = [grid.element(k - 1, c) for c in range(k)] + [
+            grid.element(r, k - 1) for r in range(k - 1)
+        ]
+        closing_nodes = {placement.node_of(e) for e in closing_cells}
+        # The closest quorum (row k-1 + col k-1) holds the 2k-1 nearest.
+        assert closing_nodes == {0, 1, 2, 3, 4}
+
+    def test_onion_optimal_for_v0_closest_quorum(self, line_topology):
+        """For v0, the onion's closest quorum delay beats (or ties) 200
+        random one-to-one placements onto the same ball."""
+        grid = GridQuorumSystem(3)
+        placement = grid_onion_placement(line_topology, grid, v0=0)
+        placed = PlacedQuorumSystem(grid, placement, line_topology)
+        onion_delay = placed.delay_matrix[0].min()
+        rng = np.random.default_rng(0)
+        ball = np.arange(9)
+        for _ in range(200):
+            perm = rng.permutation(ball)
+            other = PlacedQuorumSystem(
+                grid,
+                type(placement)(perm),
+                line_topology,
+            )
+            assert onion_delay <= other.delay_matrix[0].min() + 1e-9
+
+    def test_wrong_system_type(self, line_topology):
+        maj = ThresholdQuorumSystem(3, 2)
+        with pytest.raises(PlacementError):
+            grid_onion_placement(line_topology, maj, v0=0)
+
+
+class TestDispatch:
+    def test_one_to_one_dispatch(self, line_topology):
+        assert one_to_one_placement(
+            line_topology, GridQuorumSystem(2), 0
+        ).universe_size == 4
+        assert one_to_one_placement(
+            line_topology, ThresholdQuorumSystem(3, 2), 0
+        ).universe_size == 3
+        sing = one_to_one_placement(
+            line_topology, SingletonQuorumSystem(), 7
+        )
+        assert sing.node_of(0) == 7
+
+
+class TestBestPlacementSearch:
+    def test_grid_on_clustered_topology_prefers_big_cluster(
+        self, clustered_topology
+    ):
+        grid = GridQuorumSystem(2)
+        result = best_placement(clustered_topology, grid)
+        # A 4-element grid fits entirely inside one 6-node cluster; any
+        # cross-cluster placement pays ~100ms, so support stays clustered.
+        support = result.placed.placement.support_set
+        assert (support < 6).all() or (support >= 6).all()
+
+    def test_best_delay_is_minimum_over_candidates(self, line_topology):
+        maj = ThresholdQuorumSystem(5, 3)
+        result = best_placement(line_topology, maj)
+        assert result.avg_network_delay == pytest.approx(
+            min(result.delays_by_candidate.values())
+        )
+        assert result.v0 in result.delays_by_candidate
+
+    def test_candidate_subset(self, line_topology):
+        maj = ThresholdQuorumSystem(3, 2)
+        result = best_placement(line_topology, maj, candidates=[0, 9])
+        assert set(result.delays_by_candidate) == {0, 9}
+
+    def test_search_beats_worst_candidate(self, planetlab):
+        grid = GridQuorumSystem(3)
+        result = best_placement(planetlab, grid)
+        worst = max(result.delays_by_candidate.values())
+        assert result.avg_network_delay < worst
+
+    def test_reported_delay_matches_reevaluation(self, line_topology):
+        grid = GridQuorumSystem(2)
+        result = best_placement(line_topology, grid)
+        again = average_network_delay(
+            result.placed, uniform_strategy_for(result.placed)
+        )
+        assert result.avg_network_delay == pytest.approx(again)
+
+    def test_empty_candidates_rejected(self, line_topology):
+        with pytest.raises(PlacementError):
+            best_placement(
+                line_topology, GridQuorumSystem(2), candidates=[]
+            )
+
+
+class TestSingletonPlacement:
+    def test_singleton_on_median(self, line_topology):
+        placed = singleton_placement(line_topology)
+        assert placed.placement.node_of(0) == line_topology.median()
+
+    def test_collapse_to_median(self, line_topology):
+        grid = GridQuorumSystem(3)
+        placed = collapse_to_median(line_topology, grid)
+        med = line_topology.median()
+        assert np.all(placed.placement.assignment == med)
+        # Every quorum collapses to one node: delay = d(v, median).
+        assert np.allclose(
+            placed.delay_matrix,
+            line_topology.rtt[:, [med] * 9],
+        )
+
+    def test_singleton_beats_spread_grid(self, planetlab):
+        """Lin's bound sanity: the singleton's delay is within 2x of a
+        placed Grid's uniform delay (it is usually just better)."""
+        from repro.core.strategy import ExplicitStrategy
+        from repro.core.response_time import evaluate
+
+        sing = singleton_placement(planetlab)
+        sing_delay = evaluate(
+            sing, ExplicitStrategy.uniform(sing)
+        ).avg_network_delay
+        grid_result = best_placement(planetlab, GridQuorumSystem(4))
+        assert sing_delay <= 2.0 * grid_result.avg_network_delay

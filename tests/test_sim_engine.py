@@ -1,0 +1,118 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(9.0, lambda: fired.append("c"))
+        sim.run(until=10.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        fired = []
+        for tag in range(5):
+            sim.schedule(3.0, lambda t=tag: fired.append(t))
+        sim.run(until=10.0)
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run(until=10.0)
+        assert seen == [2.5]
+        assert sim.now == 10.0
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append(("first", sim.now))
+            sim.schedule(1.0, second)
+
+        def second():
+            fired.append(("second", sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run(until=10.0)
+        assert fired == [("first", 1.0), ("second", 2.0)]
+
+    def test_run_until_excludes_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append("early"))
+        sim.schedule(15.0, lambda: fired.append("late"))
+        sim.run(until=10.0)
+        assert fired == ["early"]
+        sim.run(until=20.0)
+        assert fired == ["early", "late"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run(until=5.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_run_needs_bound(self):
+        with pytest.raises(SimulationError):
+            Simulator().run()
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        sim.run(until=5.0)
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run(until=5.0)
+
+
+class TestBudgets:
+    def test_max_events_stops_early(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i), lambda i=i: fired.append(i))
+        sim.run(until=100.0, max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(float(i), lambda: None)
+        sim.run(until=100.0)
+        assert sim.events_processed == 4
+
+    def test_runaway_self_scheduling_bounded(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(0.001, loop)
+
+        sim.schedule(0.0, loop)
+        sim.run(until=1e9, max_events=100)
+        assert sim.events_processed == 100

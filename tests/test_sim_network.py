@@ -1,0 +1,136 @@
+"""Tests for simulated message delivery, metrics, and workload helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.metrics import OperationRecord, summarize
+from repro.sim.network import SimNetwork
+from repro.sim.workload import PoissonArrivals, spread_clients
+
+
+class TestSimNetwork:
+    def test_one_way_delay_is_half_rtt(self, line_topology):
+        sim = Simulator()
+        net = SimNetwork(sim, line_topology)
+        assert net.one_way_delay(0, 5) == pytest.approx(25.0)
+
+    def test_delivery_time(self, line_topology):
+        sim = Simulator()
+        net = SimNetwork(sim, line_topology)
+        deliveries = []
+        net.send(0, 5, "hello", lambda p: deliveries.append((p, sim.now)))
+        sim.run(until=100.0)
+        assert deliveries == [("hello", 25.0)]
+
+    def test_message_counter(self, line_topology):
+        sim = Simulator()
+        net = SimNetwork(sim, line_topology)
+        for _ in range(3):
+            net.send(0, 1, None, lambda p: None)
+        assert net.messages_sent == 3
+
+    def test_jitter_adds_delay(self, line_topology):
+        sim = Simulator()
+        net = SimNetwork(sim, line_topology, jitter_ms=5.0, seed=1)
+        times = []
+        net.send(0, 5, None, lambda p: times.append(sim.now))
+        sim.run(until=1000.0)
+        assert times[0] > 25.0
+
+    def test_jitter_deterministic_per_seed(self, line_topology):
+        def run_once():
+            sim = Simulator()
+            net = SimNetwork(sim, line_topology, jitter_ms=5.0, seed=42)
+            times = []
+            for _ in range(5):
+                net.send(0, 9, None, lambda p: times.append(sim.now))
+            sim.run(until=1000.0)
+            return times
+
+        assert run_once() == run_once()
+
+    def test_negative_jitter_rejected(self, line_topology):
+        with pytest.raises(SimulationError):
+            SimNetwork(Simulator(), line_topology, jitter_ms=-1.0)
+
+
+class TestMetrics:
+    def make_record(self, issued, completed, net=10.0):
+        return OperationRecord(
+            client_id=0,
+            client_node=0,
+            issued_at_ms=issued,
+            completed_at_ms=completed,
+            network_delay_ms=net,
+        )
+
+    def test_response_time_derivation(self):
+        r = self.make_record(100.0, 130.0, net=25.0)
+        assert r.response_time_ms == pytest.approx(30.0)
+        assert r.queueing_delay_ms == pytest.approx(5.0)
+
+    def test_summarize_means(self):
+        records = [
+            self.make_record(0.0, 20.0, net=15.0),
+            self.make_record(10.0, 50.0, net=25.0),
+        ]
+        stats = summarize(records)
+        assert stats.n_operations == 2
+        assert stats.mean_response_ms == pytest.approx(30.0)
+        assert stats.mean_network_delay_ms == pytest.approx(20.0)
+        assert stats.mean_processing_ms == pytest.approx(10.0)
+
+    def test_warmup_filtering(self):
+        records = [
+            self.make_record(0.0, 5.0),
+            self.make_record(100.0, 140.0),
+        ]
+        stats = summarize(records, warmup_ms=50.0)
+        assert stats.n_operations == 1
+        assert stats.mean_response_ms == pytest.approx(40.0)
+
+    def test_empty_after_warmup_raises(self):
+        records = [self.make_record(0.0, 5.0)]
+        with pytest.raises(SimulationError):
+            summarize(records, warmup_ms=10.0)
+
+    def test_percentiles_ordered(self):
+        rng = np.random.default_rng(0)
+        records = [
+            self.make_record(float(i), float(i) + rng.uniform(5, 50))
+            for i in range(100)
+        ]
+        stats = summarize(records)
+        assert stats.median_response_ms <= stats.p95_response_ms
+
+
+class TestWorkload:
+    def test_poisson_sorted_and_bounded(self):
+        arrivals = PoissonArrivals(rate_per_ms=0.5, seed=1)
+        times = arrivals.sample_until(1000.0)
+        assert np.all(np.diff(times) >= 0)
+        assert times[-1] < 1000.0
+
+    def test_poisson_rate_roughly_respected(self):
+        arrivals = PoissonArrivals(rate_per_ms=2.0, seed=2)
+        times = arrivals.sample_until(10_000.0)
+        assert 18_000 < len(times) < 22_000
+
+    def test_poisson_deterministic(self):
+        a = PoissonArrivals(rate_per_ms=1.0, seed=3).sample_until(100.0)
+        b = PoissonArrivals(rate_per_ms=1.0, seed=3).sample_until(100.0)
+        assert np.array_equal(a, b)
+
+    def test_poisson_validation(self):
+        with pytest.raises(SimulationError):
+            PoissonArrivals(rate_per_ms=0.0, seed=1).sample_until(10.0)
+        with pytest.raises(SimulationError):
+            PoissonArrivals(rate_per_ms=1.0, seed=1).sample_until(0.0)
+
+    def test_spread_clients(self):
+        sites = np.array([3, 7])
+        assert spread_clients(sites, 2) == [3, 3, 7, 7]
+        with pytest.raises(SimulationError):
+            spread_clients(sites, 0)

@@ -1,0 +1,122 @@
+"""Tests for LP (4.3)-(4.6) and the simple strategy factories."""
+
+import numpy as np
+import pytest
+
+from repro.core.placement import PlacedQuorumSystem, Placement
+from repro.core.response_time import evaluate
+from repro.core.strategy import (
+    ExplicitStrategy,
+    ThresholdBalancedStrategy,
+    ThresholdClosestStrategy,
+)
+from repro.errors import InfeasibleError, StrategyError
+from repro.quorums.grid import GridQuorumSystem
+from repro.quorums.load_analysis import optimal_load
+from repro.quorums.threshold import ThresholdQuorumSystem
+from repro.strategies.lp_optimizer import optimize_access_strategies
+from repro.strategies.simple import balanced_strategy, closest_strategy
+
+
+@pytest.fixture()
+def grid3_placed(line_topology):
+    return PlacedQuorumSystem(
+        GridQuorumSystem(3), Placement(list(range(9))), line_topology
+    )
+
+
+class TestSimpleFactories:
+    def test_closest_dispatch_threshold(self, line_topology):
+        placed = PlacedQuorumSystem(
+            ThresholdQuorumSystem(3, 2), Placement([0, 1, 2]), line_topology
+        )
+        assert isinstance(closest_strategy(placed), ThresholdClosestStrategy)
+        assert isinstance(
+            balanced_strategy(placed), ThresholdBalancedStrategy
+        )
+
+    def test_closest_dispatch_grid(self, grid3_placed):
+        assert isinstance(closest_strategy(grid3_placed), ExplicitStrategy)
+        assert isinstance(balanced_strategy(grid3_placed), ExplicitStrategy)
+
+    def test_many_to_one_threshold_uses_explicit(self, line_topology):
+        placed = PlacedQuorumSystem(
+            ThresholdQuorumSystem(3, 2), Placement([0, 0, 1]), line_topology
+        )
+        assert isinstance(closest_strategy(placed), ExplicitStrategy)
+
+    def test_closest_never_worse_than_balanced(self, grid3_placed):
+        c = evaluate(grid3_placed, closest_strategy(grid3_placed))
+        b = evaluate(grid3_placed, balanced_strategy(grid3_placed))
+        assert c.avg_network_delay <= b.avg_network_delay + 1e-9
+
+
+class TestStrategyLP:
+    def test_unconstrained_recovers_closest(self, grid3_placed):
+        """With capacity 1 everywhere the LP matches the closest strategy's
+        network delay (closest is optimal when capacity never binds)."""
+        lp = optimize_access_strategies(grid3_placed, 1.0)
+        lp_delay = evaluate(grid3_placed, lp).avg_network_delay
+        closest_delay = evaluate(
+            grid3_placed, closest_strategy(grid3_placed)
+        ).avg_network_delay
+        assert lp_delay == pytest.approx(closest_delay, abs=1e-6)
+
+    def test_capacity_constraints_hold(self, grid3_placed):
+        cap = 0.7
+        lp = optimize_access_strategies(grid3_placed, cap)
+        loads = lp.node_loads(grid3_placed)
+        assert np.all(loads <= cap + 1e-6)
+
+    def test_tighter_capacity_higher_delay(self, grid3_placed):
+        l_opt = optimal_load(grid3_placed.system).l_opt
+        delays = []
+        for cap in (l_opt + 0.01, 0.7, 1.0):
+            strat = optimize_access_strategies(grid3_placed, cap)
+            delays.append(
+                evaluate(grid3_placed, strat).avg_network_delay
+            )
+        assert delays[0] >= delays[1] >= delays[2]
+
+    def test_infeasible_below_optimal_load(self, grid3_placed):
+        l_opt = optimal_load(grid3_placed.system).l_opt
+        with pytest.raises(InfeasibleError):
+            optimize_access_strategies(grid3_placed, l_opt * 0.5)
+
+    def test_feasible_exactly_at_optimal_load(self, grid3_placed):
+        l_opt = optimal_load(grid3_placed.system).l_opt
+        strat = optimize_access_strategies(grid3_placed, l_opt + 1e-9)
+        loads = strat.node_loads(grid3_placed)
+        assert np.all(loads <= l_opt + 1e-6)
+
+    def test_per_node_capacities(self, grid3_placed):
+        caps = np.ones(10)
+        caps[0] = 0.05  # starve the node hosting element 0
+        strat = optimize_access_strategies(grid3_placed, caps)
+        loads = strat.node_loads(grid3_placed)
+        assert loads[0] <= 0.05 + 1e-6
+
+    def test_shape_validation(self, grid3_placed):
+        with pytest.raises(StrategyError):
+            optimize_access_strategies(grid3_placed, np.ones(3))
+        with pytest.raises(StrategyError):
+            optimize_access_strategies(grid3_placed, -0.5)
+
+    def test_non_enumerable_rejected(self, line_topology):
+        placed = PlacedQuorumSystem(
+            ThresholdQuorumSystem(49, 25),
+            Placement(np.arange(49) % 10),
+            line_topology,
+        )
+        with pytest.raises(StrategyError):
+            optimize_access_strategies(placed, 1.0)
+
+    def test_lp_beats_balanced_at_same_load_bound(self, grid3_placed):
+        """The LP's whole point: minimum delay subject to per-node load
+        no worse than the balanced strategy's."""
+        balanced = balanced_strategy(grid3_placed)
+        bal_loads = balanced.node_loads(grid3_placed)
+        strat = optimize_access_strategies(grid3_placed, bal_loads)
+        lp_delay = evaluate(grid3_placed, strat).avg_network_delay
+        bal_delay = evaluate(grid3_placed, balanced).avg_network_delay
+        assert lp_delay <= bal_delay + 1e-6

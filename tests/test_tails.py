@@ -1,0 +1,146 @@
+"""Tests for tail-latency analysis (exact delay distributions)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.analysis.tails import delay_distribution, delay_quantile
+from repro.core.placement import PlacedQuorumSystem, Placement
+from repro.core.response_time import evaluate
+from repro.core.strategy import (
+    ExplicitStrategy,
+    ThresholdBalancedStrategy,
+    ThresholdClosestStrategy,
+)
+from repro.errors import StrategyError
+from repro.quorums.grid import GridQuorumSystem
+from repro.quorums.threshold import ThresholdQuorumSystem
+
+
+@pytest.fixture()
+def grid2_placed(line_topology):
+    return PlacedQuorumSystem(
+        GridQuorumSystem(2), Placement([0, 1, 2, 3]), line_topology
+    )
+
+
+@pytest.fixture()
+def maj_placed(line_topology):
+    return PlacedQuorumSystem(
+        ThresholdQuorumSystem(5, 3),
+        Placement([0, 2, 4, 6, 8]),
+        line_topology,
+    )
+
+
+class TestDistribution:
+    def test_probabilities_sum_to_one(self, grid2_placed):
+        values, probs = delay_distribution(
+            grid2_placed, ExplicitStrategy.uniform(grid2_placed), 5
+        )
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(values) > 0)
+
+    def test_mean_matches_evaluate(self, grid2_placed):
+        strategy = ExplicitStrategy.uniform(grid2_placed)
+        values, probs = delay_distribution(grid2_placed, strategy, 7)
+        mean = float(values @ probs)
+        model = evaluate(
+            grid2_placed, strategy, clients=np.array([7])
+        ).avg_network_delay
+        assert mean == pytest.approx(model)
+
+    def test_balanced_threshold_matches_bruteforce(self, maj_placed):
+        values, probs = delay_distribution(
+            maj_placed, ThresholdBalancedStrategy(), 0
+        )
+        dists = maj_placed.support_distances[0]
+        subsets = list(itertools.combinations(dists, 3))
+        brute = {}
+        for s in subsets:
+            brute[max(s)] = brute.get(max(s), 0) + 1 / len(subsets)
+        for v, p in zip(values, probs):
+            assert p == pytest.approx(brute[v])
+
+    def test_closest_is_point_mass(self, maj_placed):
+        values, probs = delay_distribution(
+            maj_placed, ThresholdClosestStrategy(), 0
+        )
+        assert values.tolist() == [40.0]
+        assert probs.tolist() == [1.0]
+
+    def test_duplicate_delays_merged(self, line_topology):
+        # Two quorums with identical delay for the client merge.
+        placed = PlacedQuorumSystem(
+            GridQuorumSystem(2), Placement([0, 1, 1, 0]), line_topology
+        )
+        values, probs = delay_distribution(
+            placed, ExplicitStrategy.uniform(placed), 0
+        )
+        assert len(values) == len(set(values.tolist()))
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_bad_client_rejected(self, grid2_placed):
+        with pytest.raises(StrategyError):
+            delay_distribution(
+                grid2_placed, ExplicitStrategy.uniform(grid2_placed), 99
+            )
+
+
+class TestQuantiles:
+    def test_quantile_level_one_is_max(self, maj_placed):
+        q100 = delay_quantile(
+            maj_placed, ThresholdBalancedStrategy(), 1.0,
+            clients=np.array([0]),
+        )
+        # Max of any 3-subset is at most the farthest support node (80ms).
+        assert q100[0] == pytest.approx(80.0)
+
+    def test_quantiles_monotone_in_level(self, maj_placed):
+        strategy = ThresholdBalancedStrategy()
+        levels = [0.5, 0.9, 0.99, 1.0]
+        per_level = [
+            delay_quantile(
+                maj_placed, strategy, level, clients=np.array([0])
+            )[0]
+            for level in levels
+        ]
+        assert all(
+            a <= b + 1e-12 for a, b in zip(per_level, per_level[1:])
+        )
+
+    def test_median_bounded_by_mean_support(self, grid2_placed):
+        strategy = ExplicitStrategy.uniform(grid2_placed)
+        medians = delay_quantile(grid2_placed, strategy, 0.5)
+        assert medians.shape == (10,)
+        assert np.all(medians >= 0)
+
+    def test_quantile_matches_simulation(self, maj_placed):
+        """Exact p95 agrees with an empirical p95 from the DES."""
+        from repro.sim.generic import GenericQuorumSimulation
+
+        strategy = ThresholdBalancedStrategy()
+        exact = delay_quantile(
+            maj_placed, strategy, 0.95, clients=np.array([0])
+        )[0]
+        sim = GenericQuorumSimulation(
+            maj_placed,
+            strategy,
+            client_nodes=np.array([0]),
+            service_time_ms=0.0,
+            seed=13,
+        )
+        sim.run(duration_ms=50_000.0)
+        delays = np.array(
+            [r.network_delay_ms for r in sim.clients[0].records]
+        )
+        empirical = np.percentile(delays, 95)
+        # The distribution support is discrete; allow one support step.
+        assert abs(empirical - exact) <= 20.0 + 1e-9
+
+    def test_invalid_level(self, grid2_placed):
+        with pytest.raises(StrategyError):
+            delay_quantile(
+                grid2_placed, ExplicitStrategy.uniform(grid2_placed), 0.0
+            )
