@@ -2,7 +2,8 @@
 
 These are real pytest-benchmark measurements (multiple rounds) of the
 hot paths: the access-strategy LP, the fractional-placement LP, the
-best-v0 search, exact order statistics, and the DES event loop.
+best-v0 search, the vectorized (4.1) delay broadcast, the grid-runtime
+cache, exact order statistics, and the DES event loop.
 """
 
 import numpy as np
@@ -10,12 +11,14 @@ import pytest
 
 from repro.core.placement import PlacedQuorumSystem, Placement
 from repro.core.response_time import evaluate
-from repro.core.strategy import ExplicitStrategy
+from repro.core.strategy import ExplicitStrategy, ThresholdClosestStrategy
 from repro.network.datasets import daxlist_161, planetlab_50
 from repro.placement.fractional import fractional_placement
 from repro.placement.search import best_placement
 from repro.quorums.grid import GridQuorumSystem
 from repro.quorums.order_stats import expected_max_of_random_subset
+from repro.quorums.threshold import MajorityKind, majority
+from repro.runtime.cache import ResultCache, content_key
 from repro.sim.engine import Simulator
 from repro.strategies.lp_optimizer import optimize_access_strategies
 
@@ -74,6 +77,40 @@ def test_response_time_evaluation(benchmark, grid7_placed):
     """One full (4.1)-(4.2) evaluation: loads + augmented delays."""
     strategy = ExplicitStrategy.uniform(grid7_placed)
     benchmark(lambda: evaluate(grid7_placed, strategy, alpha=112.0))
+
+
+def test_augmented_delay_broadcast(benchmark, grid7_placed):
+    """The vectorized (4.1) max-broadcast over 50 clients x 49 quorums."""
+    costs = np.random.default_rng(0).uniform(0, 50, grid7_placed.n_nodes)
+    grid7_placed._padded_quorum_nodes  # exclude one-time index build
+    benchmark(lambda: grid7_placed.augmented_delay_matrix(costs))
+
+
+def test_threshold_closest_eval(benchmark, daxlist):
+    """Vectorized closest-strategy evaluation on a 101-element Majority."""
+    placed = best_placement(
+        daxlist, majority(MajorityKind.QU, 20), candidates=np.arange(8)
+    ).placed
+    strategy = ThresholdClosestStrategy()
+    clients = np.arange(daxlist.n_nodes)
+    costs = np.random.default_rng(1).uniform(0, 50, daxlist.n_nodes)
+    benchmark(
+        lambda: strategy.expected_response_times(placed, costs, clients)
+    )
+
+
+def test_result_cache_roundtrip(benchmark, tmp_path):
+    """One content-key + put + hit cycle of the grid result cache."""
+    cache = ResultCache(tmp_path)
+    payload = {"xs": tuple(range(32)), "ys": tuple(float(i) for i in range(32))}
+
+    def roundtrip():
+        key = content_key(topology="t" * 64, system="s" * 64, alpha=112.0)
+        cache.put(key, payload)
+        return cache.lookup(key)
+
+    hit, value = benchmark(roundtrip)
+    assert hit and value == payload
 
 
 def test_order_stats_large(benchmark):

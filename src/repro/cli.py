@@ -11,6 +11,13 @@ time. Subcommands::
         --demand 4000 --strategy lp
     python -m repro plan --system majority:simple:3 --strategy closest
     python -m repro plan --system grid:4 --many-to-one 0.8
+    python -m repro figure fig_6_3 --fast --jobs 4
+    python -m repro figure fig_7_6 --no-cache
+
+``--jobs`` parallelizes the independent units of work (placement
+candidates for ``plan``, grid points for ``figure``) over worker
+processes; ``figure`` results are cached on disk by a content hash of
+their inputs unless ``--no-cache`` is given.
 """
 
 from __future__ import annotations
@@ -24,12 +31,14 @@ from repro.analysis.fault_tolerance import crash_tolerance
 from repro.core.response_time import alpha_from_demand, evaluate
 from repro.core.strategy import ExplicitStrategy
 from repro.errors import ReproError
+from repro.experiments.registry import FIGURES, run_figure
 from repro.network.datasets import available_topologies, load_topology
 from repro.placement.many_to_one import best_many_to_one_placement
 from repro.placement.search import best_placement
 from repro.quorums.grid import GridQuorumSystem
 from repro.quorums.load_analysis import optimal_load
 from repro.quorums.threshold import MajorityKind, majority
+from repro.runtime.cache import ResultCache
 from repro.strategies.capacity_sweep import sweep_uniform_capacities
 from repro.strategies.simple import balanced_strategy, closest_strategy
 
@@ -150,7 +159,7 @@ def _cmd_plan(args) -> int:
             "balanced (many-to-one)",
         )
     else:
-        placed = best_placement(topology, system).placed
+        placed = best_placement(topology, system, jobs=args.jobs).placed
         placement_kind = "one-to-one"
         strategy, strategy_name = _pick_strategy(
             placed, args.strategy, alpha
@@ -179,6 +188,20 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _cmd_figure(args) -> int:
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    result = run_figure(
+        args.figure_id, fast=args.fast, jobs=args.jobs, cache=cache
+    )
+    print(result.render_text())
+    if cache is not None:
+        print(
+            f"cache: {cache.hits} hit(s), {cache.misses} miss(es), "
+            f"{cache.stores} store(s) at {cache.root}"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -203,6 +226,25 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--many-to-one", type=float, default=None,
                       metavar="CAP",
                       help="use the many-to-one pipeline with this uniform capacity")
+    plan.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="worker processes for the placement search "
+                      "(0 = all cores)")
+
+    figure = sub.add_parser(
+        "figure", help="regenerate one of the paper's figures"
+    )
+    figure.add_argument("figure_id", choices=sorted(FIGURES))
+    figure.add_argument("--fast", action="store_true",
+                        help="shrink the parameter grid for a quick run")
+    figure.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for grid points "
+                        "(0 = all cores)")
+    figure.add_argument("--no-cache", action="store_true",
+                        help="recompute every grid point instead of "
+                        "reusing cached results")
+    figure.add_argument("--cache-dir", default=None, metavar="PATH",
+                        help="cache location (default: $REPRO_CACHE_DIR "
+                        "or ~/.cache/repro)")
     return parser
 
 
@@ -212,6 +254,7 @@ def main(argv: list[str] | None = None) -> int:
         "topologies": _cmd_topologies,
         "systems": _cmd_systems,
         "plan": _cmd_plan,
+        "figure": _cmd_figure,
     }
     try:
         return handlers[args.command](args)

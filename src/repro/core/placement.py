@@ -169,17 +169,51 @@ class PlacedQuorumSystem:
     # Delays
     # ------------------------------------------------------------------
     @cached_property
+    def _padded_quorum_nodes(self) -> tuple[np.ndarray, np.ndarray]:
+        """Placed quorums as a rectangular (m, k_max) index matrix + mask.
+
+        ``idx[i, :len(f(Q_i))]`` holds the distinct nodes of ``f(Q_i)``;
+        ``mask`` marks which slots are real. This shape is what lets the
+        per-quorum max in :attr:`delay_matrix` and
+        :meth:`augmented_delay_matrix` run as one numpy gather+reduce
+        instead of a Python loop over quorums.
+        """
+        placed = self.placed_quorums
+        k_max = max(nodes.size for nodes in placed)
+        idx = np.zeros((len(placed), k_max), dtype=np.intp)
+        mask = np.zeros((len(placed), k_max), dtype=bool)
+        for i, nodes in enumerate(placed):
+            idx[i, : nodes.size] = nodes
+            mask[i, : nodes.size] = True
+        return idx, mask
+
+    def _max_over_quorums(self, values: np.ndarray) -> np.ndarray:
+        """``out[v, i] = max_{w in f(Q_i)} values[v, w]`` as a broadcast.
+
+        Chunked over quorums so the (clients, chunk, k_max) gather stays
+        within a few megabytes even for enumerated threshold systems.
+        """
+        idx, mask = self._padded_quorum_nodes
+        n, (m, k_max) = values.shape[0], idx.shape
+        out = np.empty((n, m))
+        chunk = max(1, 2_000_000 // max(1, n * k_max))
+        neg_inf = -np.inf
+        for start in range(0, m, chunk):
+            sl = slice(start, min(start + chunk, m))
+            gathered = values[:, idx[sl]]  # (n, chunk, k_max)
+            out[:, sl] = np.where(
+                mask[sl][None, :, :], gathered, neg_inf
+            ).max(axis=2)
+        return out
+
+    @cached_property
     def delay_matrix(self) -> np.ndarray:
         """``delta[v, i] = max_{w in f(Q_i)} d(v, w)`` for all clients/quorums.
 
         Requires an enumerable system; threshold systems use
         :meth:`support_distances` with order statistics instead.
         """
-        rtt = self.topology.rtt
-        delta = np.empty((self.n_nodes, self.num_quorums))
-        for i, nodes in enumerate(self.placed_quorums):
-            delta[:, i] = rtt[:, nodes].max(axis=1)
-        return delta
+        return self._max_over_quorums(self.topology.rtt)
 
     def quorum_delay(self, client: int, quorum_index: int) -> float:
         """Network delay ``delta_f(v, Q_i)`` for one client/quorum pair."""
@@ -202,11 +236,7 @@ class PlacedQuorumSystem:
                 f"node_costs must have shape ({self.n_nodes},), "
                 f"got {costs.shape}"
             )
-        rtt = self.topology.rtt
-        rho = np.empty((self.n_nodes, self.num_quorums))
-        for i, nodes in enumerate(self.placed_quorums):
-            rho[:, i] = (rtt[:, nodes] + costs[nodes]).max(axis=1)
-        return rho
+        return self._max_over_quorums(self.topology.rtt + costs[None, :])
 
     def __repr__(self) -> str:
         return (

@@ -184,12 +184,12 @@ class ThresholdClosestStrategy(AccessStrategy):
         q = placed.system.quorum_size
         support = placed.placement.support_set
         dist = placed.support_distances  # (n_clients, n_support)
-        loads = np.zeros(placed.n_nodes)
         n_clients = placed.n_nodes
-        for v in range(n_clients):
-            # The q nearest support nodes, ties broken by support order.
-            chosen = np.argsort(dist[v], kind="stable")[:q]
-            loads[support[chosen]] += 1.0
+        # The q nearest support nodes per client, ties broken by support
+        # order (stable sort), all clients at once.
+        chosen = np.argsort(dist, axis=1, kind="stable")[:, :q]
+        loads = np.zeros(placed.n_nodes)
+        np.add.at(loads, support[chosen].ravel(), 1.0)
         return loads / n_clients
 
     def expected_response_times(
@@ -201,14 +201,13 @@ class ThresholdClosestStrategy(AccessStrategy):
         _require_one_to_one_threshold(placed)
         q = placed.system.quorum_size
         support = placed.placement.support_set
-        dist = placed.support_distances
+        dist = placed.support_distances[clients]
         costs = np.asarray(node_costs, dtype=np.float64)[support]
-        out = np.empty(len(clients))
-        for idx, v in enumerate(clients):
-            row = dist[v]
-            chosen = np.argsort(row, kind="stable")[:q]
-            out[idx] = float((row[chosen] + costs[chosen]).max())
-        return out
+        chosen = np.argsort(dist, axis=1, kind="stable")[:, :q]
+        augmented = np.take_along_axis(
+            dist + costs[None, :], chosen, axis=1
+        )
+        return augmented.max(axis=1)
 
 
 class ThresholdBalancedStrategy(AccessStrategy):

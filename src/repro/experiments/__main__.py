@@ -4,7 +4,12 @@ Usage::
 
     python -m repro.experiments fig_6_3
     python -m repro.experiments fig_7_6 --fast
-    python -m repro.experiments all --fast
+    python -m repro.experiments all --fast --jobs 4
+    python -m repro.experiments all --fast --no-cache
+
+``--jobs`` fans each figure's grid points out over worker processes;
+results are cached under ``~/.cache/repro`` (override with
+``REPRO_CACHE_DIR``) unless ``--no-cache`` is given.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ import sys
 import time
 
 from repro.experiments.registry import FIGURES, run_figure
+from repro.runtime.cache import ResultCache
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -31,16 +37,42 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="shrink parameter grids for a quick run",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes per figure grid (0 = all cores)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every grid point instead of reusing cached results",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
     args = parser.parse_args(argv)
 
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
     targets = sorted(FIGURES) if args.figure == "all" else [args.figure]
     for figure_id in targets:
         started = time.perf_counter()
-        result = run_figure(figure_id, fast=args.fast)
+        result = run_figure(
+            figure_id, fast=args.fast, jobs=args.jobs, cache=cache
+        )
         elapsed = time.perf_counter() - started
         print(result.render_text())
         print(f"   [{figure_id} took {elapsed:.1f}s]")
         print()
+    if cache is not None and (cache.hits or cache.misses):
+        print(
+            f"cache: {cache.hits} hit(s), {cache.misses} miss(es), "
+            f"{cache.stores} store(s) at {cache.root}"
+        )
     return 0
 
 

@@ -5,6 +5,9 @@ the number of clients (``c = 1..10`` clients at each of 10 sites) on the
 Planetlab-50 topology and plots average response time and average network
 delay. Each cell is the mean of several simulation repetitions with
 distinct seeds (the paper ran each experiment 5 times).
+
+Declared as one grid point per (t, clients-per-site) simulation cell —
+the embarrassingly parallel shape of the whole Section-3 surface.
 """
 
 from __future__ import annotations
@@ -14,9 +17,12 @@ import numpy as np
 from repro.experiments.series import FigureResult, Series
 from repro.network.datasets import planetlab_50
 from repro.network.graph import Topology
+from repro.runtime.grid import GridPoint, GridSpec
+from repro.runtime.runner import GridRunner
+from repro.runtime.cache import topology_fingerprint
 from repro.sim.experiment import QUExperimentConfig, run_qu_experiment
 
-__all__ = ["run"]
+__all__ = ["run", "grid_spec", "simulation_cell_point"]
 
 
 def _simulate_cell(
@@ -42,22 +48,51 @@ def _simulate_cell(
     return float(np.mean(responses)), float(np.mean(delays))
 
 
-def run(
-    topology: Topology | None = None,
+def simulation_cell_point(
+    tag,
+    topology: Topology,
+    topo_fp: str,
+    t: int,
+    clients_per_site: int,
+    duration_ms: float,
+    repetitions: int,
+) -> GridPoint:
+    """A cacheable grid point for one Q/U simulation cell.
+
+    Shared by Figures 3.1 and 3.2 so identical cells (same topology,
+    ``t``, client count, duration, seeds) resolve to the same cache entry
+    regardless of which figure requested them.
+    """
+    return GridPoint(
+        tag=tag,
+        fn=_simulate_cell,
+        kwargs={
+            "topology": topology,
+            "t": t,
+            "clients_per_site": clients_per_site,
+            "duration_ms": duration_ms,
+            "repetitions": repetitions,
+        },
+        cache_key={
+            "figure_point": "qu_simulation_cell",
+            "topology": topo_fp,
+            "t": t,
+            "clients_per_site": clients_per_site,
+            "duration_ms": duration_ms,
+            "repetitions": repetitions,
+        },
+    )
+
+
+def grid_spec(
+    topology: Topology,
     fast: bool = False,
     t_values: tuple[int, ...] | None = None,
     clients_per_site_values: tuple[int, ...] | None = None,
     duration_ms: float | None = None,
     repetitions: int | None = None,
-) -> FigureResult:
-    """Reproduce Figure 3.1.
-
-    Series are named ``response t=<t>`` and ``netdelay t=<t>`` with the
-    client count on the x axis, which reads the 3-D surface as one curve
-    per universe size.
-    """
-    if topology is None:
-        topology = planetlab_50()
+) -> GridSpec:
+    """Declare Figure 3.1's grid: one point per (t, c) simulation cell."""
     if fast:
         t_values = t_values or (1, 4)
         clients_per_site_values = clients_per_site_values or (1, 5, 10)
@@ -71,29 +106,69 @@ def run(
         duration_ms = duration_ms or 2500.0
         repetitions = repetitions or 2
 
-    series: list[Series] = []
-    for t in t_values:
-        xs, resp, net = [], [], []
-        for c in clients_per_site_values:
-            mean_resp, mean_net = _simulate_cell(
-                topology, t, c, duration_ms, repetitions
-            )
-            xs.append(10 * c)
-            resp.append(mean_resp)
-            net.append(mean_net)
-        n = 5 * t + 1
-        series.append(Series.from_arrays(f"response n={n}", xs, resp))
-        series.append(Series.from_arrays(f"netdelay n={n}", xs, net))
-
-    return FigureResult(
-        figure_id="fig_3_1",
-        title="Q/U response time & network delay vs universe size and clients",
-        x_label="clients",
-        y_label="ms",
-        series=tuple(series),
-        metadata={
-            "topology": "planetlab-50",
-            "repetitions": repetitions,
-            "duration_ms": duration_ms,
-        },
+    topo_fp = topology_fingerprint(topology)
+    points = tuple(
+        simulation_cell_point(
+            (t, c), topology, topo_fp, t, c, duration_ms, repetitions
+        )
+        for t in t_values
+        for c in clients_per_site_values
     )
+
+    def assemble(values) -> FigureResult:
+        series: list[Series] = []
+        for t in t_values:
+            xs = [10 * c for c in clients_per_site_values]
+            resp = [values[(t, c)][0] for c in clients_per_site_values]
+            net = [values[(t, c)][1] for c in clients_per_site_values]
+            n = 5 * t + 1
+            series.append(Series.from_arrays(f"response n={n}", xs, resp))
+            series.append(Series.from_arrays(f"netdelay n={n}", xs, net))
+        return FigureResult(
+            figure_id="fig_3_1",
+            title=(
+                "Q/U response time & network delay vs universe size "
+                "and clients"
+            ),
+            x_label="clients",
+            y_label="ms",
+            series=tuple(series),
+            metadata={
+                "topology": "planetlab-50",
+                "repetitions": repetitions,
+                "duration_ms": duration_ms,
+            },
+        )
+
+    return GridSpec(
+        figure_id="fig_3_1", points=points, assemble=assemble
+    )
+
+
+def run(
+    topology: Topology | None = None,
+    fast: bool = False,
+    t_values: tuple[int, ...] | None = None,
+    clients_per_site_values: tuple[int, ...] | None = None,
+    duration_ms: float | None = None,
+    repetitions: int | None = None,
+    runner: GridRunner | None = None,
+) -> FigureResult:
+    """Reproduce Figure 3.1.
+
+    Series are named ``response t=<t>`` and ``netdelay t=<t>`` with the
+    client count on the x axis, which reads the 3-D surface as one curve
+    per universe size.
+    """
+    if topology is None:
+        topology = planetlab_50()
+    spec = grid_spec(
+        topology,
+        fast=fast,
+        t_values=t_values,
+        clients_per_site_values=clients_per_site_values,
+        duration_ms=duration_ms,
+        repetitions=repetitions,
+    )
+    runner = runner or GridRunner()
+    return spec.assemble(runner.run(spec.points))

@@ -5,6 +5,10 @@ Planetlab-50, ``alpha = 0``, closest access strategy, one-to-one placements
 families and the Grid — plus the singleton floor. The paper's headline
 observations: smaller quorums win; large Majorities hit a critical point;
 small-quorum systems track the singleton up to a sizable universe.
+
+The parameter grid is declared as data (:func:`grid_spec`): one
+:class:`~repro.runtime.grid.GridPoint` per (system) evaluation, so the
+registry can schedule points in parallel and cache them by content hash.
 """
 
 from __future__ import annotations
@@ -22,9 +26,12 @@ from repro.quorums.threshold import (
     majority,
     majority_universe_sizes,
 )
+from repro.runtime.grid import GridPoint, GridSpec
+from repro.runtime.runner import GridRunner
+from repro.runtime.cache import system_fingerprint, topology_fingerprint
 from repro.strategies.simple import closest_strategy
 
-__all__ = ["run"]
+__all__ = ["run", "grid_spec"]
 
 
 def _closest_delay(topology: Topology, system) -> float:
@@ -32,63 +39,116 @@ def _closest_delay(topology: Topology, system) -> float:
     return evaluate(placed, closest_strategy(placed)).avg_network_delay
 
 
+def _singleton_delay(topology: Topology) -> float:
+    sing = singleton_placement(topology)
+    return evaluate(sing, ExplicitStrategy.uniform(sing)).avg_network_delay
+
+
+def grid_spec(
+    topology: Topology,
+    fast: bool = False,
+    max_universe: int | None = None,
+) -> GridSpec:
+    """Declare Figure 6.3's grid: one point per evaluated quorum system."""
+    if max_universe is None:
+        max_universe = min(49, topology.n_nodes - 1)
+    topo_fp = topology_fingerprint(topology)
+
+    points: list[GridPoint] = []
+    majority_sizes: dict[MajorityKind, list[int]] = {}
+    for kind in MajorityKind:
+        sizes = majority_universe_sizes(kind, max_universe)
+        t_of = {v: i + 1 for i, v in enumerate(sizes)}
+        if fast:
+            sizes = sizes[::3] or sizes[:1]
+        majority_sizes[kind] = sizes
+        for n in sizes:
+            system = majority(kind, t_of[n])
+            points.append(
+                GridPoint(
+                    tag=("majority", kind.value, n),
+                    fn=_closest_delay,
+                    kwargs={"topology": topology, "system": system},
+                    cache_key={
+                        "figure_point": "closest_netdelay",
+                        "topology": topo_fp,
+                        "system": system_fingerprint(system),
+                    },
+                )
+            )
+
+    ks = list(range(2, int(max_universe**0.5) + 1))
+    if fast:
+        ks = ks[::2] or ks[:1]
+    for k in ks:
+        system = GridQuorumSystem(k)
+        points.append(
+            GridPoint(
+                tag=("grid", k),
+                fn=_closest_delay,
+                kwargs={"topology": topology, "system": system},
+                cache_key={
+                    "figure_point": "closest_netdelay",
+                    "topology": topo_fp,
+                    "system": system_fingerprint(system),
+                },
+            )
+        )
+
+    points.append(
+        GridPoint(
+            tag="singleton",
+            fn=_singleton_delay,
+            kwargs={"topology": topology},
+            cache_key={
+                "figure_point": "singleton_netdelay",
+                "topology": topo_fp,
+            },
+        )
+    )
+
+    def assemble(values) -> FigureResult:
+        series: list[Series] = []
+        for kind in MajorityKind:
+            xs = majority_sizes[kind]
+            ys = [values[("majority", kind.value, n)] for n in xs]
+            series.append(
+                Series.from_arrays(f"Majority {kind.value}", xs, ys)
+            )
+        series.append(
+            Series.from_arrays(
+                "Grid", [k * k for k in ks], [values[("grid", k)] for k in ks]
+            )
+        )
+        all_x = sorted({x for s in series for x in s.x})
+        series.append(
+            Series.from_arrays(
+                "Singleton", all_x, [values["singleton"]] * len(all_x)
+            )
+        )
+        return FigureResult(
+            figure_id="fig_6_3",
+            title="Response time vs universe size (alpha=0, closest strategy)",
+            x_label="universe size",
+            y_label="ms",
+            series=tuple(series),
+            metadata={"topology": "planetlab-50", "alpha": 0.0},
+        )
+
+    return GridSpec(
+        figure_id="fig_6_3", points=tuple(points), assemble=assemble
+    )
+
+
 def run(
     topology: Topology | None = None,
     fast: bool = False,
     max_universe: int | None = None,
+    runner: GridRunner | None = None,
 ) -> FigureResult:
     """Reproduce Figure 6.3 (response time == network delay, alpha = 0)."""
     if topology is None:
         topology = planetlab_50()
-    if max_universe is None:
-        max_universe = min(49, topology.n_nodes - 1)
-
-    series: list[Series] = []
-
-    # Majorities: one point per t with n = universe size <= max_universe.
-    for kind in MajorityKind:
-        sizes = majority_universe_sizes(kind, max_universe)
-        if fast:
-            sizes = sizes[::3] or sizes[:1]
-        xs, ys = [], []
-        t_of = {v: i + 1 for i, v in enumerate(
-            majority_universe_sizes(kind, max_universe)
-        )}
-        for n in sizes:
-            system = majority(kind, t_of[n])
-            xs.append(n)
-            ys.append(_closest_delay(topology, system))
-        series.append(
-            Series.from_arrays(f"Majority {kind.value}", xs, ys)
-        )
-
-    # Grid: k = 2 .. floor(sqrt(max_universe)).
-    ks = range(2, int(max_universe**0.5) + 1)
-    if fast:
-        ks = list(ks)[::2] or list(ks)[:1]
-    xs, ys = [], []
-    for k in ks:
-        xs.append(k * k)
-        ys.append(_closest_delay(topology, GridQuorumSystem(k)))
-    series.append(Series.from_arrays("Grid", xs, ys))
-
-    # Singleton: a flat reference line across the x range.
-    sing = singleton_placement(topology)
-    sing_delay = evaluate(
-        sing, ExplicitStrategy.uniform(sing)
-    ).avg_network_delay
-    all_x = sorted({x for s in series for x in s.x})
-    series.append(
-        Series.from_arrays(
-            "Singleton", all_x, [sing_delay] * len(all_x)
-        )
-    )
-
-    return FigureResult(
-        figure_id="fig_6_3",
-        title="Response time vs universe size (alpha=0, closest strategy)",
-        x_label="universe size",
-        y_label="ms",
-        series=tuple(series),
-        metadata={"topology": "planetlab-50", "alpha": 0.0},
-    )
+    spec = grid_spec(topology, fast=fast, max_universe=max_universe)
+    runner = runner or GridRunner()
+    return spec.assemble(runner.run(spec.points))

@@ -4,6 +4,8 @@ Network delay and response time for both strategies on one plot. The
 paper's key effect: with load dominating, the balanced strategy's response
 time *decreases* as the universe grows (dispersion beats the extra network
 delay), while closest — with no balancing guarantee — does not enjoy this.
+
+Declared as one grid point per Grid side ``k``.
 """
 
 from __future__ import annotations
@@ -15,53 +17,88 @@ from repro.network.datasets import daxlist_161
 from repro.network.graph import Topology
 from repro.placement.search import best_placement
 from repro.quorums.grid import GridQuorumSystem
+from repro.runtime.grid import GridPoint, GridSpec
+from repro.runtime.runner import GridRunner
+from repro.runtime.cache import system_fingerprint, topology_fingerprint
 from repro.strategies.simple import balanced_strategy, closest_strategy
 
-__all__ = ["run"]
+__all__ = ["run", "grid_spec"]
+
+
+def _strategy_profiles(topology: Topology, k: int, alpha: float) -> dict:
+    """(net delay, response) of both strategies for one Grid side."""
+    placed = best_placement(topology, GridQuorumSystem(k)).placed
+    out = {}
+    for label, factory in (
+        ("closest", closest_strategy),
+        ("balanced", balanced_strategy),
+    ):
+        result = evaluate(placed, factory(placed), alpha=alpha)
+        out[f"netdelay {label}"] = result.avg_network_delay
+        out[f"response {label}"] = result.avg_response_time
+    return out
+
+
+def grid_spec(
+    topology: Topology, fast: bool = False, demand: int = 16000
+) -> GridSpec:
+    """Declare Figure 6.5's grid: one point per Grid side ``k``."""
+    ks = grid_sides_for(topology, fast=fast)
+    alpha = alpha_from_demand(demand)
+    topo_fp = topology_fingerprint(topology)
+
+    points = tuple(
+        GridPoint(
+            tag=k,
+            fn=_strategy_profiles,
+            kwargs={"topology": topology, "k": k, "alpha": alpha},
+            cache_key={
+                "figure_point": "grid_strategy_profiles",
+                "topology": topo_fp,
+                "system": system_fingerprint(GridQuorumSystem(k)),
+                "alpha": alpha,
+            },
+        )
+        for k in ks
+    )
+
+    labels = (
+        "netdelay closest",
+        "response closest",
+        "netdelay balanced",
+        "response balanced",
+    )
+
+    def assemble(values) -> FigureResult:
+        xs = [k * k for k in ks]
+        return FigureResult(
+            figure_id="fig_6_5",
+            title=f"Grid with client demand = {demand} (daxlist-161)",
+            x_label="universe size",
+            y_label="ms",
+            series=tuple(
+                Series.from_arrays(
+                    label, xs, [values[k][label] for k in ks]
+                )
+                for label in labels
+            ),
+            metadata={"topology": "daxlist-161", "demand": demand},
+        )
+
+    return GridSpec(
+        figure_id="fig_6_5", points=points, assemble=assemble
+    )
 
 
 def run(
     topology: Topology | None = None,
     fast: bool = False,
     demand: int = 16000,
+    runner: GridRunner | None = None,
 ) -> FigureResult:
     """Reproduce Figure 6.5."""
     if topology is None:
         topology = daxlist_161()
-    ks = grid_sides_for(topology, fast=fast)
-    alpha = alpha_from_demand(demand)
-
-    series_data: dict[str, tuple[list[float], list[float]]] = {
-        "netdelay closest": ([], []),
-        "response closest": ([], []),
-        "netdelay balanced": ([], []),
-        "response balanced": ([], []),
-    }
-    for k in ks:
-        placed = best_placement(topology, GridQuorumSystem(k)).placed
-        n = k * k
-        for label, factory in (
-            ("closest", closest_strategy),
-            ("balanced", balanced_strategy),
-        ):
-            result = evaluate(placed, factory(placed), alpha=alpha)
-            series_data[f"netdelay {label}"][0].append(n)
-            series_data[f"netdelay {label}"][1].append(
-                result.avg_network_delay
-            )
-            series_data[f"response {label}"][0].append(n)
-            series_data[f"response {label}"][1].append(
-                result.avg_response_time
-            )
-
-    return FigureResult(
-        figure_id="fig_6_5",
-        title=f"Grid with client demand = {demand} (daxlist-161)",
-        x_label="universe size",
-        y_label="ms",
-        series=tuple(
-            Series.from_arrays(label, xs, ys)
-            for label, (xs, ys) in series_data.items()
-        ),
-        metadata={"topology": "daxlist-161", "demand": demand},
-    )
+    spec = grid_spec(topology, fast=fast, demand=demand)
+    runner = runner or GridRunner()
+    return spec.assemble(runner.run(spec.points))

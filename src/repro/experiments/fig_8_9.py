@@ -6,6 +6,9 @@ network delay at the end of iterations 1 and 2 against the one-to-one
 placement's delay. The paper's findings, which this runner reproduces:
 the big win comes from many-to-one collapse in the first phase; iteration 2
 adds little; the one-to-one baseline sits well above both.
+
+Declared as one grid point per capacity level plus the one-to-one
+baseline point; capacity levels are independent iterative runs.
 """
 
 from __future__ import annotations
@@ -20,9 +23,121 @@ from repro.network.graph import Topology
 from repro.placement.search import best_placement, uniform_strategy_for
 from repro.quorums.grid import GridQuorumSystem
 from repro.quorums.load_analysis import optimal_load
+from repro.runtime.grid import GridPoint, GridSpec
+from repro.runtime.runner import GridRunner
+from repro.runtime.cache import system_fingerprint, topology_fingerprint
 from repro.strategies.capacity_sweep import capacity_levels
 
-__all__ = ["run"]
+__all__ = ["run", "grid_spec"]
+
+
+def _one_to_one_delay(topology: Topology, k: int) -> float:
+    placed = best_placement(topology, GridQuorumSystem(k)).placed
+    return evaluate(
+        placed, uniform_strategy_for(placed)
+    ).avg_network_delay
+
+
+def _iterative_point(
+    topology: Topology, k: int, capacity: float, candidates: object
+) -> tuple[float, float]:
+    """(iteration-1 delay, iteration-2 delay) for one capacity level."""
+    result = iterative_optimize(
+        topology,
+        GridQuorumSystem(k),
+        capacities=capacity,
+        alpha=0.0,
+        candidates=candidates,
+        max_iterations=3,
+    )
+    history = result.history
+    first = history[0].phase2_network_delay
+    second = (
+        history[1].phase2_network_delay if len(history) > 1 else first
+    )
+    return float(first), float(second)
+
+
+def grid_spec(
+    topology: Topology,
+    fast: bool = False,
+    k: int = 5,
+    capacity_steps: int | None = None,
+    candidates: object = None,
+) -> GridSpec:
+    """Declare Figure 8.9's grid: one point per capacity level + baseline."""
+    capacity_steps = capacity_steps or (4 if fast else 10)
+    system = GridQuorumSystem(k)
+
+    if candidates is None and fast:
+        mean_dist = topology.mean_distances()
+        candidates = np.argsort(mean_dist)[:10]
+    candidate_arr = (
+        None if candidates is None else np.asarray(candidates, dtype=np.intp)
+    )
+
+    topo_fp = topology_fingerprint(topology)
+    sys_fp = system_fingerprint(system)
+    levels = [
+        float(c) for c in capacity_levels(optimal_load(system).l_opt,
+                                          capacity_steps)
+    ]
+
+    points: list[GridPoint] = [
+        GridPoint(
+            tag="one-to-one",
+            fn=_one_to_one_delay,
+            kwargs={"topology": topology, "k": k},
+            cache_key={
+                "figure_point": "one_to_one_netdelay",
+                "topology": topo_fp,
+                "system": sys_fp,
+            },
+        )
+    ]
+    for capacity in levels:
+        points.append(
+            GridPoint(
+                tag=("iter", capacity),
+                fn=_iterative_point,
+                kwargs={
+                    "topology": topology,
+                    "k": k,
+                    "capacity": capacity,
+                    "candidates": candidate_arr,
+                },
+                cache_key={
+                    "figure_point": "iterative_netdelay",
+                    "topology": topo_fp,
+                    "system": sys_fp,
+                    "capacity": capacity,
+                    "candidates": candidate_arr,
+                },
+            )
+        )
+
+    def assemble(values) -> FigureResult:
+        o2o_delay = values["one-to-one"]
+        iter1 = [values[("iter", c)][0] for c in levels]
+        iter2 = [values[("iter", c)][1] for c in levels]
+        return FigureResult(
+            figure_id="fig_8_9",
+            title=f"Iterative many-to-one, {k}x{k} Grid network delay",
+            x_label="node capacity",
+            y_label="ms",
+            series=(
+                Series.from_arrays("netdelay 1st iteration", levels, iter1),
+                Series.from_arrays("netdelay 2nd iteration", levels, iter2),
+                Series.from_arrays(
+                    "netdelay one-to-one", levels, [o2o_delay] * len(levels)
+                ),
+            ),
+            metadata={"topology": "planetlab-50", "k": k},
+        )
+
+    return GridSpec(
+        figure_id="fig_8_9", points=tuple(points), assemble=assemble
+    )
 
 
 def run(
@@ -31,6 +146,7 @@ def run(
     k: int = 5,
     capacity_steps: int | None = None,
     candidates: object = None,
+    runner: GridRunner | None = None,
 ) -> FigureResult:
     """Reproduce Figure 8.9.
 
@@ -40,50 +156,12 @@ def run(
     """
     if topology is None:
         topology = planetlab_50()
-    capacity_steps = capacity_steps or (4 if fast else 10)
-    system = GridQuorumSystem(k)
-
-    if candidates is None and fast:
-        mean_dist = topology.mean_distances()
-        candidates = np.argsort(mean_dist)[:10]
-
-    one_to_one = best_placement(topology, system).placed
-    o2o_delay = evaluate(
-        one_to_one, uniform_strategy_for(one_to_one)
-    ).avg_network_delay
-
-    levels = capacity_levels(optimal_load(system).l_opt, capacity_steps)
-    caps_x, iter1, iter2 = [], [], []
-    for capacity in levels:
-        result = iterative_optimize(
-            topology,
-            system,
-            capacities=float(capacity),
-            alpha=0.0,
-            candidates=candidates,
-            max_iterations=3,
-        )
-        history = result.history
-        caps_x.append(float(capacity))
-        iter1.append(history[0].phase2_network_delay)
-        second = (
-            history[1].phase2_network_delay
-            if len(history) > 1
-            else history[0].phase2_network_delay
-        )
-        iter2.append(second)
-
-    return FigureResult(
-        figure_id="fig_8_9",
-        title=f"Iterative many-to-one, {k}x{k} Grid network delay",
-        x_label="node capacity",
-        y_label="ms",
-        series=(
-            Series.from_arrays("netdelay 1st iteration", caps_x, iter1),
-            Series.from_arrays("netdelay 2nd iteration", caps_x, iter2),
-            Series.from_arrays(
-                "netdelay one-to-one", caps_x, [o2o_delay] * len(caps_x)
-            ),
-        ),
-        metadata={"topology": "planetlab-50", "k": k},
+    spec = grid_spec(
+        topology,
+        fast=fast,
+        k=k,
+        capacity_steps=capacity_steps,
+        candidates=candidates,
     )
+    runner = runner or GridRunner()
+    return spec.assemble(runner.run(spec.points))

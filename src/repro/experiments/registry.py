@@ -1,4 +1,10 @@
-"""Registry mapping figure ids to runners."""
+"""Registry mapping figure ids to runners.
+
+Every runner declares its parameter grid as data
+(:class:`~repro.runtime.grid.GridSpec`), so :func:`run_figure` can
+schedule points through a shared :class:`~repro.runtime.runner.GridRunner`
+— serial, parallel (``jobs``), and/or content-cached (``cache``).
+"""
 
 from __future__ import annotations
 
@@ -17,6 +23,8 @@ from repro.experiments import (
     fig_8_9,
 )
 from repro.experiments.series import FigureResult
+from repro.runtime.cache import ResultCache
+from repro.runtime.runner import GridRunner
 
 __all__ = ["FIGURES", "run_figure"]
 
@@ -34,12 +42,25 @@ FIGURES: dict[str, Callable[..., FigureResult]] = {
 }
 
 
-def run_figure(figure_id: str, fast: bool = False, **kwargs) -> FigureResult:
-    """Run one figure's experiment by id (e.g. ``"fig_6_3"``)."""
+def run_figure(
+    figure_id: str,
+    fast: bool = False,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+    **kwargs,
+) -> FigureResult:
+    """Run one figure's experiment by id (e.g. ``"fig_6_3"``).
+
+    ``jobs`` fans the figure's grid points out over worker processes
+    (``None``/``0`` = all cores); ``cache`` reuses previously computed
+    points keyed by content hash. Results are identical regardless of
+    either setting.
+    """
     try:
-        runner = FIGURES[figure_id]
+        runner_fn = FIGURES[figure_id]
     except KeyError:
         raise ReproError(
             f"unknown figure {figure_id!r}; available: {sorted(FIGURES)}"
         ) from None
-    return runner(fast=fast, **kwargs)
+    kwargs.setdefault("runner", GridRunner(jobs=jobs, cache=cache))
+    return runner_fn(fast=fast, **kwargs)

@@ -12,6 +12,7 @@ assumption under which the single-client constructions are optimal.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -27,6 +28,7 @@ from repro.network.graph import Topology
 from repro.placement.one_to_one import one_to_one_placement
 from repro.quorums.base import QuorumSystem
 from repro.quorums.threshold import ThresholdQuorumSystem
+from repro.runtime.runner import GridRunner
 
 __all__ = ["PlacementSearchResult", "best_placement", "uniform_strategy_for"]
 
@@ -57,12 +59,36 @@ class PlacementSearchResult:
     delays_by_candidate: dict[int, float]
 
 
+def _candidate_delay(
+    topology: Topology,
+    system: QuorumSystem,
+    v0: int,
+    clients: object,
+    respect_capacities: bool,
+) -> float | None:
+    """Average network delay of ``v0``'s placement, or None if infeasible.
+
+    Module-level so the best-``v0`` search can fan candidates out over a
+    process pool.
+    """
+    try:
+        placement = one_to_one_placement(
+            topology, system, v0, respect_capacities=respect_capacities
+        )
+    except PlacementError:
+        return None  # e.g. not enough capacity-eligible nodes near v0
+    placed = PlacedQuorumSystem(system, placement, topology)
+    strategy = uniform_strategy_for(placed)
+    return average_network_delay(placed, strategy, clients=clients)
+
+
 def best_placement(
     topology: Topology,
     system: QuorumSystem,
     candidates: object = None,
     clients: object = None,
     respect_capacities: bool = True,
+    jobs: int = 1,
 ) -> PlacementSearchResult:
     """Best one-to-one placement over candidate designated clients.
 
@@ -77,6 +103,11 @@ def best_placement(
         (default: every node).
     respect_capacities:
         Whether hosting nodes must have ``cap(v) >= load_f(u)``.
+    jobs:
+        Worker processes for the candidate loop. Candidates are
+        independent, so the result is identical for any ``jobs``: the
+        reduction scans delays in candidate order, keeping the serial
+        tie-break (first candidate with the minimal delay wins).
     """
     if candidates is None:
         candidate_idx = np.arange(topology.n_nodes)
@@ -85,30 +116,38 @@ def best_placement(
     if candidate_idx.size == 0:
         raise PlacementError("candidate set must be non-empty")
 
-    best_placed: PlacedQuorumSystem | None = None
+    evaluate_one = partial(
+        _candidate_delay,
+        topology,
+        system,
+        clients=clients,
+        respect_capacities=respect_capacities,
+    )
+    v0_list = [int(v0) for v0 in candidate_idx]
+    candidate_delays = GridRunner(jobs=jobs).map(
+        evaluate_one, [{"v0": v0} for v0 in v0_list]
+    )
+
     best_v0 = -1
     best_delay = np.inf
     delays: dict[int, float] = {}
-    for v0 in candidate_idx:
-        try:
-            placement = one_to_one_placement(
-                topology,
-                system,
-                int(v0),
-                respect_capacities=respect_capacities,
-            )
-        except PlacementError:
-            continue  # e.g. not enough capacity-eligible nodes near v0
-        placed = PlacedQuorumSystem(system, placement, topology)
-        strategy = uniform_strategy_for(placed)
-        delay = average_network_delay(placed, strategy, clients=clients)
-        delays[int(v0)] = delay
+    for v0, delay in zip(v0_list, candidate_delays):
+        if delay is None:
+            continue
+        delays[v0] = delay
         if delay < best_delay:
-            best_placed, best_v0, best_delay = placed, int(v0), delay
-    if best_placed is None:
+            best_v0, best_delay = v0, delay
+    if best_v0 < 0:
         raise PlacementError(
             "no candidate admitted a valid one-to-one placement"
         )
+    best_placed = PlacedQuorumSystem(
+        system,
+        one_to_one_placement(
+            topology, system, best_v0, respect_capacities=respect_capacities
+        ),
+        topology,
+    )
     return PlacementSearchResult(
         placed=best_placed,
         v0=best_v0,

@@ -1,0 +1,41 @@
+"""Shared parallel experiment runtime.
+
+The paper's evaluation is a collection of *grids*: independent
+(topology, quorum system, demand, seed) points whose results are assembled
+into figures, and independent candidate placements whose delays select a
+winner. This package provides the machinery every such workload shares:
+
+* :mod:`repro.runtime.grid` — :class:`GridPoint`/:class:`GridSpec`, the
+  data model figure runners use to *declare* their parameter grids instead
+  of looping over them imperatively;
+* :mod:`repro.runtime.runner` — :class:`GridRunner`, which executes a grid
+  serially or over a :class:`~concurrent.futures.ProcessPoolExecutor` with
+  results guaranteed identical to serial execution;
+* :mod:`repro.runtime.cache` — :class:`ResultCache`, an on-disk cache keyed
+  by a content hash of each point's inputs, so repeated sweeps (benchmarks,
+  figure regeneration, CI) skip work that has already been done.
+
+``python -m repro figure`` and ``python -m repro.experiments`` surface the
+runtime through ``--jobs`` and ``--no-cache`` flags.
+"""
+
+from repro.runtime.cache import (
+    ResultCache,
+    content_key,
+    default_cache_dir,
+    system_fingerprint,
+    topology_fingerprint,
+)
+from repro.runtime.grid import GridPoint, GridSpec
+from repro.runtime.runner import GridRunner
+
+__all__ = [
+    "GridPoint",
+    "GridSpec",
+    "GridRunner",
+    "ResultCache",
+    "content_key",
+    "default_cache_dir",
+    "system_fingerprint",
+    "topology_fingerprint",
+]

@@ -1,0 +1,227 @@
+"""On-disk result cache keyed by content hashes of experiment inputs.
+
+A cached entry is one grid point's result, keyed by a SHA-256 digest of a
+canonical serialization of everything that determines it: the topology
+(RTT matrix, capacities, names), the quorum system's structure, and the
+point's scalar parameters (strategy, alpha, seed, ...). Two points with
+the same inputs — even issued by different figures — share one entry.
+
+Cache layout (under :func:`default_cache_dir`, overridable with the
+``REPRO_CACHE_DIR`` environment variable)::
+
+    <root>/<key[:2]>/<key>.pkl
+
+where ``key`` is the 64-hex-character content digest. Values are pickled;
+writes go through a temporary file and :func:`os.replace` so concurrent
+workers never observe a torn entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.network.graph import Topology
+from repro.quorums.base import QuorumSystem
+from repro.quorums.threshold import ThresholdQuorumSystem
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "ResultCache",
+    "content_key",
+    "default_cache_dir",
+    "system_fingerprint",
+    "topology_fingerprint",
+]
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Folded into every content key. Bump this whenever the *behavior* behind
+#: cached results changes (simulation kernel, placement constructions, LP
+#: solvers, seed formulas...), so stale entries from older code can never
+#: be served for new runs.
+CACHE_SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def _feed(hasher: "hashlib._Hash", obj: Any) -> None:
+    """Feed a canonical byte encoding of ``obj`` into ``hasher``.
+
+    Supports the closed vocabulary grid points are built from; anything
+    else is a programming error and raises ``TypeError`` rather than
+    silently hashing an unstable ``repr``.
+    """
+    if obj is None:
+        hasher.update(b"\x00N")
+    elif isinstance(obj, bool):
+        hasher.update(b"\x00b1" if obj else b"\x00b0")
+    elif isinstance(obj, int):
+        hasher.update(b"\x00i" + str(obj).encode())
+    elif isinstance(obj, float):
+        hasher.update(b"\x00f" + obj.hex().encode())
+    elif isinstance(obj, str):
+        hasher.update(b"\x00s" + obj.encode())
+    elif isinstance(obj, bytes):
+        hasher.update(b"\x00y" + obj)
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        hasher.update(
+            b"\x00a" + str(arr.dtype).encode() + str(arr.shape).encode()
+        )
+        hasher.update(arr.tobytes())
+    elif isinstance(obj, np.generic):
+        _feed(hasher, obj.item())
+    elif isinstance(obj, (list, tuple)):
+        hasher.update(b"\x00l" + str(len(obj)).encode())
+        for item in obj:
+            _feed(hasher, item)
+    elif isinstance(obj, dict):
+        hasher.update(b"\x00d" + str(len(obj)).encode())
+        for key in sorted(obj):
+            _feed(hasher, key)
+            _feed(hasher, obj[key])
+    elif isinstance(obj, (set, frozenset)):
+        _feed(hasher, sorted(obj))
+    else:
+        raise TypeError(
+            f"cannot build a stable cache key from {type(obj).__name__!r}"
+        )
+
+
+def content_key(**components: Any) -> str:
+    """SHA-256 digest of the canonical encoding of keyword components.
+
+    :data:`CACHE_SCHEMA_VERSION` is folded in, so bumping it invalidates
+    every previously cached result at once.
+    """
+    hasher = hashlib.sha256()
+    _feed(hasher, CACHE_SCHEMA_VERSION)
+    _feed(hasher, components)
+    return hasher.hexdigest()
+
+
+def topology_fingerprint(topology: Topology) -> str:
+    """Digest of everything response times can depend on in a topology."""
+    hasher = hashlib.sha256()
+    _feed(
+        hasher,
+        {
+            "rtt": topology.rtt,
+            "capacities": topology.capacities,
+            "names": list(topology.names),
+        },
+    )
+    return hasher.hexdigest()
+
+
+def system_fingerprint(system: QuorumSystem) -> str:
+    """Digest of a quorum system's structure.
+
+    Threshold systems hash as ``(n, q)``; enumerable systems hash their
+    full quorum list, so structurally identical systems collide (good) and
+    any change to the construction changes the key (also good).
+    """
+    hasher = hashlib.sha256()
+    if isinstance(system, ThresholdQuorumSystem):
+        _feed(
+            hasher,
+            {
+                "kind": "threshold",
+                "n": system.universe_size,
+                "q": system.quorum_size,
+            },
+        )
+    else:
+        _feed(
+            hasher,
+            {
+                "kind": "enumerated",
+                "n": system.universe_size,
+                "quorums": [sorted(q) for q in system.quorums],
+            },
+        )
+    return hasher.hexdigest()
+
+
+class ResultCache:
+    """Pickle-backed result store keyed by :func:`content_key` digests."""
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def lookup(self, key: str) -> tuple[bool, Any]:
+        """``(True, value)`` on a hit, ``(False, None)`` on a miss.
+
+        A corrupt or unreadable entry counts as a miss (it will be
+        overwritten by the next :meth:`put`).
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as fh:
+                value = pickle.load(fh)
+        except Exception:
+            # Unpickling corrupt bytes can raise nearly anything
+            # (UnpicklingError, ValueError, EOFError, AttributeError...);
+            # any unreadable entry is a miss and will be overwritten.
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store a value atomically (temp file + rename)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*/*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(root={str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses}, stores={self.stores})"
+        )

@@ -1,0 +1,106 @@
+"""Grid execution: serial, parallel, and cached.
+
+:class:`GridRunner` evaluates the points of a grid and returns
+``{tag: result}``. With ``jobs=1`` (the default) points run in a plain
+loop in submission order; with ``jobs>1`` they fan out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`. Because points are
+independent and results are keyed by tag, parallel execution is
+guaranteed to produce results identical to serial execution — the
+equivalence the regression tests in ``tests/test_runtime.py`` pin down to
+the bit.
+
+When a :class:`~repro.runtime.cache.ResultCache` is attached, points that
+declare a ``cache_key`` are looked up before any work is dispatched and
+stored after they complete, so only cache misses ever reach the pool.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Hashable, Iterable, Sequence
+
+from repro.errors import ReproError
+from repro.runtime.cache import ResultCache, content_key
+from repro.runtime.grid import GridPoint
+
+__all__ = ["GridRunner", "resolve_jobs"]
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: ``None``/``0`` mean all cores."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ReproError(f"jobs must be a positive worker count, got {jobs}")
+    return jobs
+
+
+def _invoke(fn: Callable[..., Any], kwargs: dict) -> Any:
+    """Top-level trampoline so (fn, kwargs) pairs cross process boundaries."""
+    return fn(**kwargs)
+
+
+class GridRunner:
+    """Evaluates grid points, optionally in parallel and through a cache."""
+
+    def __init__(
+        self, jobs: int | None = 1, cache: ResultCache | None = None
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.cache = cache
+
+    def run(self, points: Sequence[GridPoint]) -> dict[Hashable, Any]:
+        """Evaluate every point; returns results keyed by point tag."""
+        points = list(points)
+        tags = [p.tag for p in points]
+        if len(set(tags)) != len(tags):
+            raise ReproError("grid points must carry unique tags")
+
+        results: dict[Hashable, Any] = {}
+        keys: dict[Hashable, str] = {}
+        pending: list[GridPoint] = []
+        for point in points:
+            if self.cache is not None and point.cache_key is not None:
+                key = content_key(**point.cache_key)
+                hit, value = self.cache.lookup(key)
+                if hit:
+                    results[point.tag] = value
+                    continue
+                keys[point.tag] = key
+            pending.append(point)
+
+        for tag, value in zip(
+            [p.tag for p in pending], self._evaluate(pending)
+        ):
+            results[tag] = value
+            if self.cache is not None and tag in keys:
+                self.cache.put(keys[tag], value)
+        return results
+
+    def map(
+        self,
+        fn: Callable[..., Any],
+        kwargs_list: Iterable[dict],
+    ) -> list[Any]:
+        """Evaluate ``fn(**kwargs)`` for each kwargs dict, in input order."""
+        points = [
+            GridPoint(tag=i, fn=fn, kwargs=kw)
+            for i, kw in enumerate(kwargs_list)
+        ]
+        results = self.run(points)
+        return [results[i] for i in range(len(points))]
+
+    def _evaluate(self, points: list[GridPoint]) -> list[Any]:
+        if self.jobs <= 1 or len(points) <= 1:
+            return [point() for point in points]
+        workers = min(self.jobs, len(points))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_invoke, point.fn, point.kwargs)
+                for point in points
+            ]
+            return [future.result() for future in futures]
+
+    def __repr__(self) -> str:
+        return f"GridRunner(jobs={self.jobs}, cache={self.cache!r})"

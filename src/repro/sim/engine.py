@@ -25,16 +25,32 @@ __all__ = ["Simulator", "ScheduledEvent"]
 class ScheduledEvent:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("time", "callback", "cancelled")
+    __slots__ = ("time", "callback", "cancelled", "_sim", "_in_heap")
 
-    def __init__(self, time: float, callback: Callable[[], None]) -> None:
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        sim: "Simulator | None" = None,
+    ) -> None:
         self.time = time
         self.callback = callback
         self.cancelled = False
+        self._sim = sim
+        self._in_heap = False
 
     def cancel(self) -> None:
-        """Prevent the callback from firing (O(1); removal is lazy)."""
+        """Prevent the callback from firing.
+
+        Amortized O(1): the entry stays on the heap until it is either
+        popped or swept out by the simulator's compaction pass. Cancelling
+        an event that already fired (or was already cancelled) is a no-op.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._in_heap and self._sim is not None:
+            self._sim._note_cancelled()
 
 
 class Simulator:
@@ -45,6 +61,7 @@ class Simulator:
         self._heap: list[tuple[float, int, ScheduledEvent]] = []
         self._sequence = itertools.count()
         self._events_processed = 0
+        self._cancelled_in_heap = 0
 
     @property
     def now(self) -> float:
@@ -58,8 +75,41 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
+        """Number of events still queued.
+
+        Cancelled entries linger until popped or compacted, but compaction
+        keeps them below half the queue, so this never grows unboundedly
+        in cancel-heavy workloads.
+        """
         return len(self._heap)
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled entries currently occupying heap slots."""
+        return self._cancelled_in_heap
+
+    def _note_cancelled(self) -> None:
+        """Record a cancellation; sweep the heap once lazy entries dominate."""
+        self._cancelled_in_heap += 1
+        if self._cancelled_in_heap * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        Heap order is determined solely by the ``(time, sequence)`` tuple
+        prefix, so rebuilding preserves the deterministic firing order of
+        the surviving events.
+        """
+        live = []
+        for entry in self._heap:
+            if entry[2].cancelled:
+                entry[2]._in_heap = False
+            else:
+                live.append(entry)
+        self._heap = live
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
 
     def schedule(
         self, delay: float, callback: Callable[[], None]
@@ -77,7 +127,8 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self._now}"
             )
-        event = ScheduledEvent(time, callback)
+        event = ScheduledEvent(time, callback, sim=self)
+        event._in_heap = True
         heapq.heappush(self._heap, (time, next(self._sequence), event))
         return event
 
@@ -106,7 +157,9 @@ class Simulator:
             if until is not None and time > until:
                 break
             heapq.heappop(self._heap)
+            event._in_heap = False
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             self._now = time
             event.callback()

@@ -64,6 +64,33 @@ class TestRegistry:
             run_figure("fig_9_9")
 
 
+#: Figures whose default topology is daxlist-161 rather than planetlab-50.
+_DAXLIST_FIGURES = {"fig_6_4", "fig_6_5"}
+
+
+class TestRegistrySmoke:
+    """Every registered figure must run end-to-end in fast mode.
+
+    A broken runner should fail tier-1, not be discovered at benchmark
+    time. Each smoke checks the structural contract every consumer
+    (render_text, benchmarks, the CLI) relies on.
+    """
+
+    @pytest.mark.parametrize("figure_id", sorted(FIGURES))
+    def test_figure_runs_fast(self, figure_id, planetlab, daxlist):
+        topology = daxlist if figure_id in _DAXLIST_FIGURES else planetlab
+        result = run_figure(figure_id, fast=True, topology=topology)
+        assert isinstance(result, FigureResult)
+        assert result.figure_id == figure_id
+        assert result.series, f"{figure_id} produced no series"
+        for series in result.series:
+            assert len(series.x) == len(series.y) > 0
+            assert all(np.isfinite(series.y)), (
+                f"{figure_id}/{series.label} has non-finite values"
+            )
+        assert "==" in result.render_text()
+
+
 class TestFig63:
     @pytest.fixture(scope="class")
     def result(self, planetlab):

@@ -1,0 +1,232 @@
+"""Tests for the parallel experiment runtime.
+
+The contract under test: ``GridRunner`` output is *identical* — to the
+bit — whether points run serially, in parallel workers, or out of the
+cache. Plus the cache's own invariants (stable content keys, atomic
+storage, hit/miss accounting).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import fig_6_3
+from repro.network.datasets import PLANETLAB_CLUSTERS
+from repro.network.generators import generate_cluster_topology
+from repro.placement.search import best_placement
+from repro.quorums.grid import GridQuorumSystem
+from repro.quorums.threshold import MajorityKind, majority
+from repro.runtime.cache import (
+    ResultCache,
+    content_key,
+    system_fingerprint,
+    topology_fingerprint,
+)
+from repro.runtime.grid import GridPoint, GridSpec
+from repro.runtime.runner import GridRunner, resolve_jobs
+
+
+def _square(x):
+    return x * x
+
+
+def _fail():
+    raise RuntimeError("worker exploded")
+
+
+@pytest.fixture(scope="module")
+def small_topology():
+    return generate_cluster_topology(
+        n_sites=20, clusters=PLANETLAB_CLUSTERS, seed=7
+    )
+
+
+class TestContentKey:
+    def test_deterministic(self):
+        a = content_key(x=1, y="s", z=(1.5, None))
+        b = content_key(x=1, y="s", z=(1.5, None))
+        assert a == b and len(a) == 64
+
+    def test_order_insensitive_kwargs(self):
+        assert content_key(a=1, b=2) == content_key(b=2, a=1)
+
+    def test_distinguishes_values_and_types(self):
+        keys = {
+            content_key(x=1),
+            content_key(x=2),
+            content_key(x=1.0),
+            content_key(x="1"),
+            content_key(x=True),
+            content_key(x=None),
+        }
+        assert len(keys) == 6
+
+    def test_ndarray_and_nested_containers(self):
+        arr = np.arange(6, dtype=np.float64)
+        a = content_key(m={"arr": arr, "k": [1, 2]})
+        b = content_key(m={"k": [1, 2], "arr": arr.copy()})
+        assert a == b
+        assert a != content_key(m={"arr": arr + 1, "k": [1, 2]})
+
+    def test_rejects_unstable_types(self):
+        with pytest.raises(TypeError):
+            content_key(x=object())
+
+    def test_topology_fingerprint_tracks_content(self, small_topology):
+        fp = topology_fingerprint(small_topology)
+        assert fp == topology_fingerprint(small_topology)
+        recap = small_topology.with_capacities(
+            np.full(small_topology.n_nodes, 0.5)
+        )
+        assert fp != topology_fingerprint(recap)
+
+    def test_system_fingerprint_structural(self):
+        assert system_fingerprint(
+            majority(MajorityKind.QU, 2)
+        ) == system_fingerprint(majority(MajorityKind.QU, 2))
+        assert system_fingerprint(GridQuorumSystem(3)) != system_fingerprint(
+            GridQuorumSystem(4)
+        )
+
+
+class TestResultCache:
+    def test_roundtrip_and_stats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = content_key(x=1)
+        hit, _ = cache.lookup(key)
+        assert not hit and cache.misses == 1
+        cache.put(key, {"value": (1.5, "a")})
+        hit, value = cache.lookup(key)
+        assert hit and value == {"value": (1.5, "a")}
+        assert cache.hits == 1 and cache.stores == 1
+        assert len(cache) == 1
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [b"not a pickle", b"garbage\n", b"", b"\x80\x05corrupt"],
+    )
+    def test_corrupt_entry_is_miss(self, tmp_path, garbage):
+        cache = ResultCache(tmp_path)
+        key = content_key(x=1)
+        cache.put(key, 42)
+        cache.path_for(key).write_bytes(garbage)
+        hit, _ = cache.lookup(key)
+        assert not hit
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put(content_key(x=i), i)
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+
+class TestGridRunner:
+    def test_serial_run_keyed_by_tag(self):
+        points = [
+            GridPoint(tag=f"p{i}", fn=_square, kwargs={"x": i})
+            for i in range(5)
+        ]
+        assert GridRunner().run(points) == {
+            f"p{i}": i * i for i in range(5)
+        }
+
+    def test_map_preserves_order(self):
+        out = GridRunner().map(_square, [{"x": i} for i in (3, 1, 2)])
+        assert out == [9, 1, 4]
+
+    def test_duplicate_tags_rejected(self):
+        points = [
+            GridPoint(tag="dup", fn=_square, kwargs={"x": 1}),
+            GridPoint(tag="dup", fn=_square, kwargs={"x": 2}),
+        ]
+        with pytest.raises(ReproError):
+            GridRunner().run(points)
+        with pytest.raises(ValueError):
+            GridSpec(
+                figure_id="f", points=tuple(points), assemble=lambda v: v
+            )
+
+    def test_parallel_matches_serial(self):
+        points = [
+            GridPoint(tag=i, fn=_square, kwargs={"x": i}) for i in range(8)
+        ]
+        assert GridRunner(jobs=2).run(points) == GridRunner().run(points)
+
+    def test_worker_error_propagates(self):
+        with pytest.raises(RuntimeError):
+            GridRunner().run([GridPoint(tag="boom", fn=_fail)])
+        with pytest.raises(RuntimeError):
+            GridRunner(jobs=2).run(
+                [
+                    GridPoint(tag="boom", fn=_fail),
+                    GridPoint(tag="ok", fn=_square, kwargs={"x": 2}),
+                ]
+            )
+
+    def test_cache_skips_work_and_stores(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        points = [
+            GridPoint(
+                tag=i, fn=_square, kwargs={"x": i}, cache_key={"x": i}
+            )
+            for i in range(4)
+        ]
+        first = GridRunner(cache=cache).run(points)
+        assert cache.stores == 4 and cache.hits == 0
+        second = GridRunner(cache=cache).run(points)
+        assert second == first
+        assert cache.hits == 4 and cache.stores == 4
+
+    def test_uncacheable_points_always_run(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        points = [GridPoint(tag="a", fn=_square, kwargs={"x": 3})]
+        for _ in range(2):
+            assert GridRunner(cache=cache).run(points) == {"a": 9}
+        assert cache.hits == cache.misses == cache.stores == 0
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) >= 1
+        with pytest.raises(ReproError):
+            resolve_jobs(-2)
+
+
+class TestParallelEquivalence:
+    """ISSUE satellite: jobs=2 must be bit-identical to serial."""
+
+    def test_fig_6_3_parallel_bit_identical(self, planetlab):
+        serial = fig_6_3.run(planetlab, fast=True)
+        parallel = fig_6_3.run(
+            planetlab, fast=True, runner=GridRunner(jobs=2)
+        )
+        assert serial == parallel  # frozen dataclasses: full deep equality
+
+    def test_fig_6_3_cached_bit_identical(self, planetlab, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = fig_6_3.run(
+            planetlab, fast=True, runner=GridRunner(cache=cache)
+        )
+        assert cache.stores == len(
+            fig_6_3.grid_spec(planetlab, fast=True).points
+        )
+        second = fig_6_3.run(
+            planetlab, fast=True, runner=GridRunner(cache=cache)
+        )
+        assert cache.hits == cache.stores
+        assert first == second
+
+    def test_best_placement_parallel_identical(self, small_topology):
+        for system in (GridQuorumSystem(3), majority(MajorityKind.BFT, 2)):
+            serial = best_placement(small_topology, system)
+            parallel = best_placement(small_topology, system, jobs=2)
+            assert serial.v0 == parallel.v0
+            assert serial.avg_network_delay == parallel.avg_network_delay
+            assert serial.delays_by_candidate == parallel.delays_by_candidate
+            assert np.array_equal(
+                serial.placed.placement.assignment,
+                parallel.placed.placement.assignment,
+            )

@@ -91,6 +91,157 @@ class TestCancellation:
         sim.run(until=5.0)
 
 
+class TestHeapCompaction:
+    """Cancelled entries must not accumulate in the heap unboundedly."""
+
+    def test_cancel_heavy_load_compacts_heap(self):
+        sim = Simulator()
+        handles = [
+            sim.schedule(float(i + 1), lambda: None) for i in range(100)
+        ]
+        for handle in handles[:60]:
+            handle.cancel()
+        # Compaction triggers once cancelled entries exceed half the
+        # queue, so at no point do all 60 cancelled entries linger.
+        assert sim.pending_events < 100
+        assert sim.cancelled_pending * 2 <= sim.pending_events
+        sim.run(until=1000.0)
+        assert sim.events_processed == 40
+        assert sim.pending_events == 0
+
+    def test_compaction_preserves_firing_order(self):
+        sim = Simulator()
+        fired = []
+        keep = []
+        for i in range(50):
+            handle = sim.schedule(
+                5.0, lambda i=i: fired.append(i)
+            )
+            if i % 3 == 0:
+                keep.append(i)
+            else:
+                handle.cancel()
+        sim.run(until=10.0)
+        # Survivors fire in original scheduling order despite the rebuild.
+        assert fired == keep
+
+    def test_long_cancel_reschedule_cycle_bounded(self):
+        """The original leak: cancel+reschedule kept every tombstone."""
+        sim = Simulator()
+        peak = 0
+        handle = sim.schedule(1e6, lambda: None)
+        for _ in range(1000):
+            handle.cancel()
+            handle = sim.schedule(1e6, lambda: None)
+            peak = max(peak, sim.pending_events)
+        assert peak <= 4
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("x"))
+        sim.run(until=5.0)
+        assert fired == ["x"]
+        handle.cancel()  # the run() boundary has passed; nothing happens
+        assert sim.cancelled_pending == 0
+        assert sim.pending_events == 0
+        sim.run(until=10.0)
+        assert fired == ["x"]
+
+    def test_cancelled_counter_tracks_pops(self):
+        sim = Simulator()
+        a = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.schedule(3.0, lambda: None)
+        a.cancel()
+        assert sim.cancelled_pending == 1
+        sim.run(until=10.0)
+        assert sim.cancelled_pending == 0
+        assert sim.events_processed == 2
+
+
+class TestDeterminism:
+    """ISSUE satellite: the kernel must be deterministic for a fixed seed."""
+
+    def test_simultaneous_events_fire_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        # Interleave two batches at the same timestamp; sequence numbers,
+        # not insertion batch, dictate the firing order.
+        for i in range(3):
+            sim.schedule(7.0, lambda i=i: fired.append(("a", i)))
+        for i in range(3):
+            sim.schedule_at(7.0, lambda i=i: fired.append(("b", i)))
+        sim.run(until=10.0)
+        assert fired == [
+            ("a", 0), ("a", 1), ("a", 2),
+            ("b", 0), ("b", 1), ("b", 2),
+        ]
+
+    def test_identical_runs_process_identical_event_counts(self):
+        def drive() -> tuple[int, float]:
+            sim = Simulator()
+            count = [0]
+
+            def tick():
+                count[0] += 1
+                if count[0] % 7:
+                    sim.schedule(0.5, tick)
+
+            for i in range(5):
+                sim.schedule(0.1 * i, tick)
+            sim.run(until=50.0)
+            return sim.events_processed, sim.now
+
+        assert drive() == drive()
+
+    def test_fixed_seed_qu_runs_identical(self, planetlab):
+        from repro.qu.service import QUService
+
+        def drive() -> tuple[int, int, float]:
+            service = QUService(
+                planetlab,
+                server_nodes=list(range(6)),
+                quorum_size=5,
+                seed=42,
+                network_jitter_ms=0.5,
+            )
+            for site in (10, 20, 30):
+                service.add_client(site)
+            service.run(duration_ms=400.0)
+            records = service.all_records()
+            return (
+                service.sim.events_processed,
+                len(records),
+                sum(r.response_time_ms for r in records),
+            )
+
+        assert drive() == drive()
+
+    def test_fixed_seed_qu_experiment_identical(self, planetlab):
+        from repro.sim.experiment import QUExperimentConfig, run_qu_experiment
+
+        config = QUExperimentConfig(
+            t=1, clients_per_site=2, duration_ms=400.0,
+            warmup_ms=80.0, seed=42,
+        )
+        a = run_qu_experiment(planetlab, config)
+        b = run_qu_experiment(planetlab, config)
+        assert a.operations_completed == b.operations_completed
+        assert a.stats.mean_response_ms == b.stats.mean_response_ms
+        assert a.stats.mean_network_delay_ms == b.stats.mean_network_delay_ms
+
+    def test_different_seeds_differ(self, planetlab):
+        from repro.sim.experiment import QUExperimentConfig, run_qu_experiment
+
+        base = dict(
+            t=1, clients_per_site=2, duration_ms=400.0, warmup_ms=80.0
+        )
+        a = run_qu_experiment(planetlab, QUExperimentConfig(seed=1, **base))
+        b = run_qu_experiment(planetlab, QUExperimentConfig(seed=2, **base))
+        assert a.stats.mean_response_ms != b.stats.mean_response_ms
+
+
 class TestBudgets:
     def test_max_events_stops_early(self):
         sim = Simulator()
