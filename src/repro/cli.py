@@ -189,7 +189,20 @@ def _cmd_plan(args) -> int:
 
 
 def _cmd_figure(args) -> int:
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    max_bytes = (
+        None
+        if args.cache_max_mb is None
+        else int(args.cache_max_mb * 1024 * 1024)
+    )
+    if max_bytes is not None and max_bytes <= 0:
+        raise ReproError(
+            f"--cache-max-mb must be positive, got {args.cache_max_mb}"
+        )
+    cache = (
+        None
+        if args.no_cache
+        else ResultCache(args.cache_dir, max_size_bytes=max_bytes)
+    )
     result = run_figure(
         args.figure_id, fast=args.fast, jobs=args.jobs, cache=cache
     )
@@ -245,6 +258,11 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--cache-dir", default=None, metavar="PATH",
                         help="cache location (default: $REPRO_CACHE_DIR "
                         "or ~/.cache/repro)")
+    figure.add_argument("--cache-max-mb", type=float, default=None,
+                        metavar="MB",
+                        help="trim the cache to this size after each "
+                        "store, evicting oldest entries first "
+                        "(default: unbounded)")
     return parser
 
 

@@ -29,7 +29,7 @@ from repro.errors import InfeasibleError
 from repro.network.graph import Topology
 from repro.placement.many_to_one import best_many_to_one_placement
 from repro.quorums.base import QuorumSystem
-from repro.strategies.lp_optimizer import optimize_access_strategies
+from repro.strategies.lp_optimizer import StrategyProgram
 
 __all__ = ["IterationRecord", "IterativeResult", "iterative_optimize"]
 
@@ -96,6 +96,20 @@ def iterative_optimize(
     if cap0.ndim == 0:
         cap0 = np.full(topology.n_nodes, float(cap0))
 
+    # The strategy LP's constraint system depends only on the placement
+    # (capacities are RHS), and successive iterations frequently land on
+    # the same placement — reuse the assembled (and warm-started) program
+    # instead of rebuilding it every iteration.
+    programs: dict[bytes, StrategyProgram] = {}
+
+    def _program_for(placed_j: PlacedQuorumSystem) -> StrategyProgram:
+        key = placed_j.placement.assignment.tobytes()
+        program = programs.get(key)
+        if program is None:
+            program = StrategyProgram(placed_j, coalesce=coalesce)
+            programs[key] = program
+        return program
+
     previous: IterationRecord | None = None
     prev_strategy_matrix = np.full(
         (topology.n_nodes, system.num_quorums), 1.0 / system.num_quorums
@@ -122,9 +136,7 @@ def iterative_optimize(
         loads_j = carried.node_loads(placed_j, coalesce=coalesce)
 
         try:
-            strategy_j = optimize_access_strategies(
-                placed_j, loads_j, coalesce=coalesce
-            )
+            strategy_j = _program_for(placed_j).solve(loads_j)
         except InfeasibleError:
             # The carried strategies themselves satisfy cap = their loads,
             # so infeasibility can only be numerical; keep the carried ones.

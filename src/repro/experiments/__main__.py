@@ -55,9 +55,30 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
     )
+    parser.add_argument(
+        "--cache-max-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="trim the cache to this size after each store, evicting "
+        "oldest entries first (default: unbounded)",
+    )
     args = parser.parse_args(argv)
 
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    max_bytes = (
+        None
+        if args.cache_max_mb is None
+        else int(args.cache_max_mb * 1024 * 1024)
+    )
+    if max_bytes is not None and max_bytes <= 0:
+        parser.error(
+            f"--cache-max-mb must be positive, got {args.cache_max_mb}"
+        )
+    cache = (
+        None
+        if args.no_cache
+        else ResultCache(args.cache_dir, max_size_bytes=max_bytes)
+    )
     targets = sorted(FIGURES) if args.figure == "all" else [args.figure]
     for figure_id in targets:
         started = time.perf_counter()

@@ -33,7 +33,11 @@ __all__ = ["run", "grid_spec"]
 def _uniform_sweep(
     topology: Topology, k: int, alpha: float, capacity_steps: int
 ) -> dict:
-    """Uniform-capacity LP sweep for one Grid side, as plain tuples."""
+    """Uniform-capacity LP sweep for one Grid side, as plain tuples.
+
+    The whole level family is passed to one sweep call, so the grid point
+    amortizes LP assembly (and solver warm starts) over its entire sweep.
+    """
     system = GridQuorumSystem(k)
     placed = best_placement(topology, system).placed
     levels = capacity_levels(optimal_load(system).l_opt, capacity_steps)
@@ -42,6 +46,7 @@ def _uniform_sweep(
         "capacities": tuple(float(c) for c in sweep.capacities),
         "response_times": tuple(float(r) for r in sweep.response_times),
         "network_delays": tuple(float(d) for d in sweep.network_delays),
+        "infeasible_capacities": sweep.infeasible_capacities,
     }
 
 
@@ -83,6 +88,11 @@ def grid_spec(
 
     def assemble(values) -> FigureResult:
         series: list[Series] = []
+        dropped = {
+            f"n={k * k}": values[k].get("infeasible_capacities", ())
+            for k in grid_sides
+            if values[k].get("infeasible_capacities")
+        }
         for k in grid_sides:
             sweep = values[k]
             series.append(
@@ -105,7 +115,13 @@ def grid_spec(
             x_label="node capacity",
             y_label="ms",
             series=tuple(series),
-            metadata={"topology": "planetlab-50", "demand": demand},
+            metadata={
+                "topology": "planetlab-50",
+                "demand": demand,
+                **(
+                    {"infeasible_levels": dropped} if dropped else {}
+                ),
+            },
         )
 
     return GridSpec(

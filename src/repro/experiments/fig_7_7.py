@@ -32,7 +32,11 @@ __all__ = ["run", "grid_spec"]
 def _nonuniform_sweep(
     topology: Topology, k: int, alpha: float, capacity_steps: int
 ) -> dict:
-    """Non-uniform-capacity LP sweep for one Grid side, as plain tuples."""
+    """Non-uniform-capacity LP sweep for one Grid side, as plain tuples.
+
+    All intervals are passed to one sweep call, so the grid point
+    amortizes LP assembly over its entire sweep.
+    """
     system = GridQuorumSystem(k)
     placed = best_placement(topology, system).placed
     levels = capacity_levels(optimal_load(system).l_opt, capacity_steps)
@@ -40,6 +44,7 @@ def _nonuniform_sweep(
     return {
         "gammas": tuple(float(g) for g in sweep.gammas),
         "response_times": tuple(float(r) for r in sweep.response_times),
+        "infeasible_gammas": sweep.infeasible_gammas,
     }
 
 
@@ -94,6 +99,14 @@ def grid_spec(
 
     def assemble(values) -> FigureResult:
         series: list[Series] = []
+        dropped = {}
+        for k in grid_sides:
+            uni = values[(k, "uniform")].get("infeasible_capacities", ())
+            non = values[(k, "nonuniform")].get("infeasible_gammas", ())
+            if uni:
+                dropped[f"uniform n={k * k}"] = uni
+            if non:
+                dropped[f"nonuniform n={k * k}"] = non
         for k in grid_sides:
             uniform = values[(k, "uniform")]
             nonuniform = values[(k, "nonuniform")]
@@ -124,7 +137,13 @@ def grid_spec(
             x_label="node capacity (c_i / gamma)",
             y_label="ms",
             series=tuple(series),
-            metadata={"topology": "planetlab-50", "demand": demand},
+            metadata={
+                "topology": "planetlab-50",
+                "demand": demand,
+                **(
+                    {"infeasible_levels": dropped} if dropped else {}
+                ),
+            },
         )
 
     return GridSpec(

@@ -68,6 +68,11 @@ def grid_spec(
     def assemble(values) -> FigureResult:
         uniform = values["uniform"]
         nonuniform = values["nonuniform"]
+        dropped = {}
+        if uniform.get("infeasible_capacities"):
+            dropped["uniform"] = uniform["infeasible_capacities"]
+        if nonuniform.get("infeasible_gammas"):
+            dropped["nonuniform"] = nonuniform["infeasible_gammas"]
         return FigureResult(
             figure_id="fig_7_8",
             title=f"{k}x{k} Grid capacity slice, demand={demand}",
@@ -90,7 +95,14 @@ def grid_spec(
                     nonuniform["response_times"],
                 ),
             ),
-            metadata={"topology": "planetlab-50", "demand": demand, "k": k},
+            metadata={
+                "topology": "planetlab-50",
+                "demand": demand,
+                "k": k,
+                **(
+                    {"infeasible_levels": dropped} if dropped else {}
+                ),
+            },
         )
 
     return GridSpec(

@@ -8,7 +8,11 @@ the big win comes from many-to-one collapse in the first phase; iteration 2
 adds little; the one-to-one baseline sits well above both.
 
 Declared as one grid point per capacity level plus the one-to-one
-baseline point; capacity levels are independent iterative runs.
+baseline point; capacity levels are independent iterative runs. Within a
+run the Section 4.2 algorithm re-solves the strategy LP every iteration;
+those solves now share one assembled program per placement
+(build-once/solve-many through ``repro.lp``), so a grid point amortizes
+constraint assembly across its whole iteration history.
 """
 
 from __future__ import annotations

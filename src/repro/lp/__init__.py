@@ -3,12 +3,33 @@
 The paper implemented its LPs in GNU MathProg and solved them with
 ``glpsol`` 4.8 (limited to 100,000 constraints). This package provides the
 equivalent substrate on ``scipy.optimize.linprog`` (HiGHS): a builder for
-sparse LPs (:class:`~repro.lp.problem.LinearProgram`) and a solver wrapper
-that converts solver statuses into the library's exceptions
-(:func:`~repro.lp.solver.solve`).
+sparse LPs (:class:`~repro.lp.problem.LinearProgram`) with a vectorized
+batch assembler, a one-shot solver wrapper that converts solver statuses
+into the library's exceptions (:func:`~repro.lp.solver.solve`), and a
+build-once/solve-many backend
+(:class:`~repro.lp.batched.BatchedProgram`) for LP families that share
+structure and differ only in inequality right-hand sides — the shape of
+both the capacity-sweep technique and the iterative algorithm.
+
+Build-once/solve-many usage::
+
+    lp = LinearProgram()
+    p = lp.add_block("p", (n, m), lower=0.0, upper=1.0)
+    lp.set_objective_many(vars, coefs)      # array arguments
+    lp.add_le_many(rows, cols, vals, rhs)   # broadcast COO batch
+    batched = BatchedProgram(lp)            # matrices assembled once
+    solutions = batched.solve_many(rhs_variants)  # warm-started when
+                                                  # HiGHS bindings exist
 """
 
+from repro.lp.batched import BatchedProgram, lp_backend_name
 from repro.lp.problem import LinearProgram
 from repro.lp.solver import LPSolution, solve
 
-__all__ = ["LinearProgram", "LPSolution", "solve"]
+__all__ = [
+    "BatchedProgram",
+    "LinearProgram",
+    "LPSolution",
+    "lp_backend_name",
+    "solve",
+]

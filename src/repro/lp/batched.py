@@ -1,0 +1,285 @@
+"""Build-once/solve-many LP solving.
+
+The capacity-sweep technique and the iterative algorithm solve families of
+LPs that share every coefficient except the inequality right-hand sides
+(the node-capacity column of (4.4)). :class:`BatchedProgram` exploits that:
+it assembles the constraint matrices of a :class:`~repro.lp.problem.LinearProgram`
+exactly once and then solves any number of RHS variants against the shared
+structure.
+
+Two solver paths sit behind one interface:
+
+* **HiGHS warm-start** — when HiGHS python bindings are importable (the
+  standalone ``highspy`` package, or the copy scipy vendors as
+  ``scipy.optimize._highspy``), the model is passed to a persistent
+  ``Highs`` instance once; each variant only changes the affected row
+  bounds and re-runs the solver, which re-optimizes from the previous
+  basis (dual simplex) instead of solving cold. This is where the batched
+  sweep's order-of-magnitude win comes from.
+* **scipy fallback** — otherwise each variant is one
+  ``scipy.optimize.linprog`` call reusing the prebuilt CSR matrices, so
+  only assembly (not the cold solve) is amortized.
+
+The probe is transparent: callers never see which path ran unless they ask
+(:attr:`BatchedProgram.backend`). Set ``REPRO_LP_BACKEND=scipy`` to force
+the fallback (the equivalence tests use this to compare both paths).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import InfeasibleError, SolverError
+from repro.lp.problem import LinearProgram
+from repro.lp.solver import LPSolution
+
+__all__ = ["BatchedProgram", "lp_backend_name"]
+
+#: Environment variable forcing a backend ("scipy" disables the HiGHS probe).
+LP_BACKEND_ENV = "REPRO_LP_BACKEND"
+
+_STATUS_INFEASIBLE = 2
+_STATUS_UNBOUNDED = 3
+
+
+def _probe_highs_bindings():
+    """``(module, name)`` for importable HiGHS bindings, or ``(None, "scipy")``.
+
+    Tries the standalone ``highspy`` package first, then the bindings scipy
+    ships internally. Returns ``(None, "scipy")`` when neither imports or
+    when ``REPRO_LP_BACKEND=scipy`` forces the fallback.
+    """
+    if os.environ.get(LP_BACKEND_ENV, "").strip().lower() == "scipy":
+        return None, "scipy"
+    try:
+        import highspy  # standalone distribution
+
+        if hasattr(highspy, "Highs"):
+            return highspy, "highspy"
+    except ImportError:
+        pass
+    try:
+        from scipy.optimize._highspy import _core  # vendored by scipy
+
+        if hasattr(_core, "_Highs") or hasattr(_core, "Highs"):
+            return _core, "scipy-highspy"
+    except ImportError:
+        pass
+    return None, "scipy"
+
+
+def lp_backend_name() -> str:
+    """Name of the backend a new :class:`BatchedProgram` would use."""
+    return _probe_highs_bindings()[1]
+
+
+class _HighsBackend:
+    """Persistent HiGHS model; RHS variants only change row bounds."""
+
+    def __init__(self, bindings, arrays: dict, n_le: int, n_eq: int) -> None:
+        from scipy import sparse
+
+        self._hs = bindings
+        self._inf = float(bindings.kHighsInf)
+        self._n_le = n_le
+
+        blocks = [m for m in (arrays["A_ub"], arrays["A_eq"]) if m is not None]
+        n_vars = arrays["c"].size
+        if blocks:
+            a = sparse.vstack(blocks).tocsc()
+        else:
+            a = sparse.csc_matrix((0, n_vars))
+
+        lp = bindings.HighsLp()
+        lp.num_col_ = n_vars
+        lp.num_row_ = n_le + n_eq
+        lp.col_cost_ = np.ascontiguousarray(arrays["c"])
+        lp.col_lower_ = np.ascontiguousarray(arrays["bounds"][:, 0])
+        lp.col_upper_ = np.ascontiguousarray(arrays["bounds"][:, 1])
+        row_lower = np.full(n_le + n_eq, -self._inf)
+        row_upper = np.full(n_le + n_eq, self._inf)
+        if n_le:
+            row_upper[:n_le] = arrays["b_ub"]
+        if n_eq:
+            row_lower[n_le:] = arrays["b_eq"]
+            row_upper[n_le:] = arrays["b_eq"]
+        lp.row_lower_ = row_lower
+        lp.row_upper_ = row_upper
+        matrix = lp.a_matrix_
+        matrix.format_ = bindings.MatrixFormat.kColwise
+        matrix.num_col_ = n_vars
+        matrix.num_row_ = n_le + n_eq
+        matrix.start_ = a.indptr
+        matrix.index_ = a.indices
+        matrix.value_ = a.data
+
+        highs_cls = getattr(bindings, "Highs", None) or bindings._Highs
+        solver = highs_cls()
+        solver.setOptionValue("output_flag", False)
+        status = solver.passModel(lp)
+        if status == bindings.HighsStatus.kError:
+            raise SolverError(f"HiGHS rejected the model: {status}")
+        self._solver = solver
+
+    def solve(self, b_ub: np.ndarray | None) -> LPSolution | None:
+        hs = self._hs
+        if self._n_le:
+            assert b_ub is not None
+            solver = self._solver
+            inf = self._inf
+            for row in range(self._n_le):
+                solver.changeRowBounds(row, -inf, float(b_ub[row]))
+        self._solver.run()
+        status = self._solver.getModelStatus()
+        if status == hs.HighsModelStatus.kOptimal:
+            x = np.asarray(self._solver.getSolution().col_value, dtype=float)
+            objective = float(
+                self._solver.getInfo().objective_function_value
+            )
+            return LPSolution(x=x, objective=objective)
+        if status == hs.HighsModelStatus.kInfeasible:
+            return None
+        raise SolverError(
+            "HiGHS solve failed: "
+            f"{self._solver.modelStatusToString(status)}"
+        )
+
+
+class _ScipyBackend:
+    """One cold ``linprog`` call per variant over the shared arrays."""
+
+    def __init__(self, arrays: dict) -> None:
+        self._arrays = arrays
+
+    def solve(self, b_ub: np.ndarray | None) -> LPSolution | None:
+        arrays = self._arrays
+        result = linprog(
+            arrays["c"],
+            A_ub=arrays["A_ub"],
+            b_ub=b_ub,
+            A_eq=arrays["A_eq"],
+            b_eq=arrays["b_eq"],
+            bounds=arrays["bounds"],
+            method="highs",
+        )
+        if result.status == _STATUS_INFEASIBLE:
+            return None
+        if result.status == _STATUS_UNBOUNDED:
+            raise SolverError("linear program is unbounded")
+        if not result.success:
+            raise SolverError(f"LP solver failed: {result.message}")
+        return LPSolution(x=np.asarray(result.x), objective=float(result.fun))
+
+
+class BatchedProgram:
+    """A built LP whose inequality RHS can be swept without reassembly.
+
+    Usage::
+
+        lp = LinearProgram()
+        ... add blocks / objective / constraints once ...
+        batched = BatchedProgram(lp)
+        solutions = batched.solve_many([b_ub_0, b_ub_1, ...])
+
+    ``solve_many`` returns one entry per variant: an
+    :class:`~repro.lp.solver.LPSolution` when that variant is feasible,
+    ``None`` when it is infeasible (so sweeps can record dropped levels).
+    Unbounded or otherwise failed solves raise
+    :class:`~repro.errors.SolverError` — those are programming errors, not
+    data.
+
+    Parameters
+    ----------
+    program:
+        The assembled program; its arrays are built exactly once here.
+    backend:
+        ``None`` probes for HiGHS bindings and falls back to scipy;
+        ``"highs"`` requires the bindings (raises if missing);
+        ``"scipy"`` forces the per-variant ``linprog`` fallback.
+    """
+
+    def __init__(
+        self, program: LinearProgram, backend: str | None = None
+    ) -> None:
+        if backend not in (None, "highs", "scipy"):
+            raise SolverError(
+                f"unknown LP backend {backend!r}; "
+                "choose 'highs', 'scipy', or None to auto-probe"
+            )
+        # Only the built arrays are retained — holding the LinearProgram
+        # itself would pin every COO chunk for the program's lifetime.
+        self.n_variables = program.n_variables
+        self._arrays = program.build()
+        self._n_le = program.n_le_constraints
+
+        bindings, probed = (None, "scipy")
+        if backend != "scipy":
+            bindings, probed = _probe_highs_bindings()
+            if backend == "highs" and bindings is None:
+                raise SolverError(
+                    "no HiGHS python bindings importable (tried 'highspy' "
+                    "and scipy's vendored copy); use backend='scipy'"
+                )
+        if bindings is not None:
+            self.backend = probed
+            self._impl = _HighsBackend(
+                bindings,
+                self._arrays,
+                self._n_le,
+                program.n_eq_constraints,
+            )
+        else:
+            self.backend = "scipy"
+            self._impl = _ScipyBackend(self._arrays)
+
+    @property
+    def n_le_constraints(self) -> int:
+        return self._n_le
+
+    def _check_rhs(self, b_ub) -> np.ndarray | None:
+        if self._n_le == 0:
+            if b_ub is not None and np.asarray(b_ub).size:
+                raise SolverError(
+                    "program has no inequality rows to take an RHS"
+                )
+            return None
+        rhs = np.asarray(b_ub, dtype=np.float64)
+        if rhs.shape != (self._n_le,):
+            raise SolverError(
+                f"RHS variant must have shape ({self._n_le},), "
+                f"got {rhs.shape}"
+            )
+        return rhs
+
+    def solve_many(
+        self, b_ub_variants: Iterable[Sequence[float] | np.ndarray]
+    ) -> list[LPSolution | None]:
+        """Solve every RHS variant against the shared structure."""
+        return [
+            self._impl.solve(self._check_rhs(variant))
+            for variant in b_ub_variants
+        ]
+
+    def solve(
+        self, b_ub: Sequence[float] | np.ndarray | None = None
+    ) -> LPSolution:
+        """Solve one variant; raises :class:`InfeasibleError` if infeasible.
+
+        With ``b_ub=None`` the RHS the program was built with is used.
+        """
+        if b_ub is None and self._n_le:
+            b_ub = self._arrays["b_ub"]
+        solution = self._impl.solve(self._check_rhs(b_ub))
+        if solution is None:
+            raise InfeasibleError("linear program is infeasible")
+        return solution
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchedProgram(n_vars={self.n_variables}, "
+            f"n_le={self._n_le}, backend={self.backend!r})"
+        )

@@ -1,4 +1,4 @@
-"""Incremental sparse LP builder.
+"""Incremental sparse LP builder with a vectorized constraint assembler.
 
 :class:`LinearProgram` accumulates variables, objective coefficients and
 constraints (as COO triplets) and produces the arrays
@@ -6,6 +6,20 @@ constraints (as COO triplets) and produces the arrays
 callers can recover structured solutions (e.g. the ``x[u, w]`` placement
 block and the ``z[Q]`` delay block of the fractional-placement LP) without
 tracking flat indices by hand.
+
+Constraints can be added one row at a time (:meth:`LinearProgram.add_le`,
+:meth:`LinearProgram.add_eq`) or — the fast path — as whole batches of rows
+through :meth:`LinearProgram.add_le_many` / :meth:`LinearProgram.add_eq_many`,
+which take flat COO arrays built by numpy broadcasting instead of per-row
+Python appends. Both paths produce identical matrices (pinned by the
+assembly-identity tests in ``tests/test_lp.py``); the array path is what the
+access-strategy LP uses so assembling a program once per placement costs
+a few numpy calls rather than tens of thousands of list appends.
+
+The intended usage pattern for repeated solves is build-once/solve-many:
+assemble a :class:`LinearProgram` once, wrap it in
+:class:`~repro.lp.batched.BatchedProgram`, and sweep right-hand-side
+variants against the shared structure.
 """
 
 from __future__ import annotations
@@ -54,30 +68,81 @@ class VariableBlock:
 
 @dataclass
 class _Triplets:
-    rows: list[int] = field(default_factory=list)
-    cols: list[int] = field(default_factory=list)
-    vals: list[float] = field(default_factory=list)
-    rhs: list[float] = field(default_factory=list)
+    """COO constraint rows stored as chunks of numpy arrays.
 
-    @property
-    def n_rows(self) -> int:
-        return len(self.rhs)
+    Each ``add_rows`` call appends one chunk; :meth:`matrix` concatenates
+    the chunks exactly once at build time. Because COO→CSR conversion
+    canonicalizes entry order, a matrix assembled from one big broadcast
+    chunk is identical to the same matrix assembled row by row.
+    """
+
+    rows: list[np.ndarray] = field(default_factory=list)
+    cols: list[np.ndarray] = field(default_factory=list)
+    vals: list[np.ndarray] = field(default_factory=list)
+    rhs: list[np.ndarray] = field(default_factory=list)
+    n_rows: int = 0
+
+    def add_rows(
+        self,
+        row_local: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        rhs: np.ndarray,
+    ) -> int:
+        """Append ``len(rhs)`` rows at once; returns the first row index.
+
+        ``row_local[k]`` says which of the new rows (0-based within this
+        batch) entry ``k`` of ``cols``/``vals`` belongs to.
+        """
+        row_local = np.asarray(row_local, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        vals = np.asarray(vals, dtype=np.float64)
+        rhs = np.atleast_1d(np.asarray(rhs, dtype=np.float64))
+        if cols.shape != vals.shape or cols.shape != row_local.shape:
+            raise SolverError("constraint columns and values length mismatch")
+        if row_local.size and (
+            row_local.min() < 0 or row_local.max() >= rhs.size
+        ):
+            raise SolverError(
+                f"row indices must lie in [0, {rhs.size}), got "
+                f"[{row_local.min()}, {row_local.max()}]"
+            )
+        first = self.n_rows
+        self.rows.append(row_local + first)
+        self.cols.append(cols)
+        self.vals.append(vals)
+        self.rhs.append(rhs)
+        self.n_rows += rhs.size
+        return first
 
     def add_row(self, cols: list[int], vals: list[float], rhs: float) -> int:
-        if len(cols) != len(vals):
+        # Fast path for the row-by-row builders: one new row, so the
+        # batch-local indices are trivially valid and skip validation.
+        cols_arr = np.asarray(cols, dtype=np.intp)
+        vals_arr = np.asarray(vals, dtype=np.float64)
+        if cols_arr.shape != vals_arr.shape:
             raise SolverError("constraint columns and values length mismatch")
-        row = len(self.rhs)
-        self.rows.extend([row] * len(cols))
-        self.cols.extend(cols)
-        self.vals.extend(vals)
-        self.rhs.append(rhs)
+        row = self.n_rows
+        self.rows.append(np.full(cols_arr.size, row, dtype=np.intp))
+        self.cols.append(cols_arr)
+        self.vals.append(vals_arr)
+        self.rhs.append(np.array([rhs], dtype=np.float64))
+        self.n_rows += 1
         return row
 
+    def rhs_array(self) -> np.ndarray | None:
+        if not self.n_rows:
+            return None
+        return np.concatenate(self.rhs)
+
     def matrix(self, n_vars: int) -> sparse.csr_matrix | None:
-        if not self.rhs:
+        if not self.n_rows:
             return None
         return sparse.coo_matrix(
-            (self.vals, (self.rows, self.cols)),
+            (
+                np.concatenate(self.vals),
+                (np.concatenate(self.rows), np.concatenate(self.cols)),
+            ),
             shape=(self.n_rows, n_vars),
         ).tocsr()
 
@@ -90,15 +155,23 @@ class LinearProgram:
         lp = LinearProgram()
         x = lp.add_block("x", (n, m), lower=0.0)
         lp.set_objective(x.index(i, j), c_ij)
+        lp.set_objective_many(var_array, coef_array)     # vectorized
         lp.add_le([x.index(i, j), ...], [a, ...], b)     # a'x <= b
+        lp.add_le_many(rows, cols, vals, rhs)            # batch of rows
         lp.add_eq([...], [...], b)                       # a'x == b
         arrays = lp.build()
+
+    For families of LPs sharing structure and differing only in their
+    inequality right-hand sides, build once and solve the whole family via
+    :class:`~repro.lp.batched.BatchedProgram` instead of rebuilding per
+    variant.
     """
 
     def __init__(self) -> None:
         self._blocks: dict[str, VariableBlock] = {}
         self._n_vars = 0
         self._objective: dict[int, float] = {}
+        self._objective_chunks: list[tuple[np.ndarray, np.ndarray]] = []
         self._lower: list[float] = []
         self._upper: list[float] = []
         self._le = _Triplets()
@@ -143,6 +216,14 @@ class LinearProgram:
     def n_constraints(self) -> int:
         return self._le.n_rows + self._eq.n_rows
 
+    @property
+    def n_le_constraints(self) -> int:
+        return self._le.n_rows
+
+    @property
+    def n_eq_constraints(self) -> int:
+        return self._eq.n_rows
+
     # ------------------------------------------------------------------
     # Objective and constraints
     # ------------------------------------------------------------------
@@ -151,11 +232,22 @@ class LinearProgram:
         self._objective[var] = self._objective.get(var, 0.0) + coefficient
 
     def set_objective_many(
-        self, variables: list[int], coefficients: list[float]
+        self,
+        variables: np.ndarray | list[int],
+        coefficients: np.ndarray | list[float],
     ) -> None:
-        """Accumulate objective coefficients for many variables at once."""
-        for var, coef in zip(variables, coefficients):
-            self.set_objective(var, coef)
+        """Accumulate objective coefficients for many variables at once.
+
+        Takes array arguments; the accumulation happens with one
+        ``np.add.at`` per batch at build time.
+        """
+        variables = np.asarray(variables, dtype=np.intp)
+        coefficients = np.asarray(coefficients, dtype=np.float64)
+        if variables.shape != coefficients.shape:
+            raise SolverError(
+                "objective variables and coefficients length mismatch"
+            )
+        self._objective_chunks.append((variables, coefficients))
 
     def add_le(
         self, variables: list[int], coefficients: list[float], rhs: float
@@ -163,11 +255,35 @@ class LinearProgram:
         """Add an inequality ``sum coef*var <= rhs``; returns the row index."""
         return self._le.add_row(variables, coefficients, rhs)
 
+    def add_le_many(
+        self,
+        rows: np.ndarray,
+        variables: np.ndarray,
+        coefficients: np.ndarray,
+        rhs: np.ndarray,
+    ) -> int:
+        """Add ``len(rhs)`` inequality rows from flat COO arrays.
+
+        ``rows[k]`` is the batch-local row (0-based) of entry ``k``.
+        Returns the global index of the first added row.
+        """
+        return self._le.add_rows(rows, variables, coefficients, rhs)
+
     def add_eq(
         self, variables: list[int], coefficients: list[float], rhs: float
     ) -> int:
         """Add an equality ``sum coef*var == rhs``; returns the row index."""
         return self._eq.add_row(variables, coefficients, rhs)
+
+    def add_eq_many(
+        self,
+        rows: np.ndarray,
+        variables: np.ndarray,
+        coefficients: np.ndarray,
+        rhs: np.ndarray,
+    ) -> int:
+        """Add ``len(rhs)`` equality rows from flat COO arrays."""
+        return self._eq.add_rows(rows, variables, coefficients, rhs)
 
     # ------------------------------------------------------------------
     # Assembly
@@ -179,12 +295,14 @@ class LinearProgram:
         c = np.zeros(self._n_vars)
         for var, coef in self._objective.items():
             c[var] = coef
+        for variables, coefficients in self._objective_chunks:
+            np.add.at(c, variables, coefficients)
         bounds = np.column_stack([self._lower, self._upper])
         return {
             "c": c,
             "A_ub": self._le.matrix(self._n_vars),
-            "b_ub": np.asarray(self._le.rhs) if self._le.rhs else None,
+            "b_ub": self._le.rhs_array(),
             "A_eq": self._eq.matrix(self._n_vars),
-            "b_eq": np.asarray(self._eq.rhs) if self._eq.rhs else None,
+            "b_eq": self._eq.rhs_array(),
             "bounds": bounds,
         }

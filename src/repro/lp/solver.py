@@ -5,6 +5,12 @@ infeasibility raises :class:`~repro.errors.InfeasibleError` (the paper notes
 the access-strategy LP "might not exist if, e.g., the node capacities are set
 too low"), anything else unexpected raises
 :class:`~repro.errors.SolverError`.
+
+:func:`solve` is the one-shot path: it rebuilds the program's arrays on
+every call. When the same program must be solved for many right-hand
+sides (a capacity sweep, the iterative algorithm's per-iteration capacity
+vectors), wrap it in :class:`~repro.lp.batched.BatchedProgram` instead —
+assembly happens once and solves reuse the factorized structure.
 """
 
 from __future__ import annotations

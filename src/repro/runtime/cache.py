@@ -47,7 +47,11 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: cached results changes (simulation kernel, placement constructions, LP
 #: solvers, seed formulas...), so stale entries from older code can never
 #: be served for new runs.
-CACHE_SCHEMA_VERSION = 1
+#:
+#: v2: the access-strategy LP moved to the batched build-once/solve-many
+#: backend (warm-started HiGHS when bindings are importable); degenerate
+#: optima can tie-break differently than the old per-level scipy path.
+CACHE_SCHEMA_VERSION = 2
 
 
 def default_cache_dir() -> Path:
@@ -158,14 +162,36 @@ def system_fingerprint(system: QuorumSystem) -> str:
 
 
 class ResultCache:
-    """Pickle-backed result store keyed by :func:`content_key` digests."""
+    """Pickle-backed result store keyed by :func:`content_key` digests.
 
-    def __init__(self, root: Path | str | None = None) -> None:
+    With ``max_size_bytes`` set, the cache trims itself back under the
+    budget after every store (and once at construction) by deleting the
+    oldest entries first — ordered by file modification time, so recently
+    written or refreshed results survive longest.
+    """
+
+    def __init__(
+        self,
+        root: Path | str | None = None,
+        max_size_bytes: int | None = None,
+    ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.root.mkdir(parents=True, exist_ok=True)
+        if max_size_bytes is not None and max_size_bytes <= 0:
+            raise ValueError(
+                f"max_size_bytes must be positive, got {max_size_bytes}"
+            )
+        self.max_size_bytes = max_size_bytes
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
+        # Running size estimate so bounded stores stay O(1): refreshed by
+        # every full scan (trim), incremented per put. Entries written by
+        # concurrent workers are only picked up at the next trim.
+        self._approx_size = 0
+        if max_size_bytes is not None:
+            self.trim()
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
@@ -205,6 +231,59 @@ class ResultCache:
                 pass
             raise
         self.stores += 1
+        if self.max_size_bytes is not None:
+            try:
+                self._approx_size += path.stat().st_size
+            except OSError:
+                pass
+            if self._approx_size > self.max_size_bytes:
+                self.trim()
+
+    def size_bytes(self) -> int:
+        """Total size of all cached entries on disk."""
+        total = 0
+        for path in self.root.glob("*/*.pkl"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def trim(self, max_size_bytes: int | None = None) -> int:
+        """Evict oldest-mtime entries until the cache fits the budget.
+
+        Uses ``max_size_bytes`` (argument, else the instance setting);
+        returns the number of entries removed. A no-op without a budget.
+        """
+        budget = (
+            max_size_bytes if max_size_bytes is not None
+            else self.max_size_bytes
+        )
+        if budget is None:
+            return 0
+        entries = []
+        total = 0
+        for path in self.root.glob("*/*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # concurrently evicted by another worker
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        entries.sort()  # oldest first
+        removed = 0
+        for mtime, size, path in entries:
+            if total <= budget:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        self._approx_size = total
+        self.evictions += removed
+        return removed
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
@@ -223,5 +302,6 @@ class ResultCache:
     def __repr__(self) -> str:
         return (
             f"ResultCache(root={str(self.root)!r}, hits={self.hits}, "
-            f"misses={self.misses}, stores={self.stores})"
+            f"misses={self.misses}, stores={self.stores}, "
+            f"evictions={self.evictions})"
         )

@@ -6,6 +6,15 @@ set to ``c_i``, LP (4.3)-(4.6) is solved, and the response time of the
 resulting strategies is computed; the best ``c_i`` wins. Low capacities
 force load dispersion (good under high demand); high capacities allow close
 quorums (good under low demand).
+
+The ten LPs of a sweep share every coefficient except the capacity RHS, so
+the sweep assembles the constraint system once per placement
+(:class:`~repro.strategies.lp_optimizer.StrategyProgram`) and batch-solves
+all levels against the shared structure. Levels whose LP is infeasible
+(capacity below the placed system's optimal load) are no longer silently
+skipped: they are recorded in
+:attr:`CapacitySweepResult.infeasible_capacities` so figures and logs can
+show what was dropped.
 """
 
 from __future__ import annotations
@@ -19,7 +28,7 @@ from repro.core.response_time import ResponseTimeResult, evaluate
 from repro.core.strategy import ExplicitStrategy
 from repro.errors import InfeasibleError, StrategyError
 from repro.quorums.load_analysis import optimal_load
-from repro.strategies.lp_optimizer import optimize_access_strategies
+from repro.strategies.lp_optimizer import StrategyProgram
 
 __all__ = [
     "capacity_levels",
@@ -54,10 +63,12 @@ class CapacitySweepPoint:
 
 @dataclass(frozen=True)
 class CapacitySweepResult:
-    """All sweep points plus the response-time-minimizing one."""
+    """All feasible sweep points, the response-time-minimizing one, and
+    the capacity levels whose LP was infeasible (dropped from the sweep)."""
 
     points: list[CapacitySweepPoint]
     best: CapacitySweepPoint
+    infeasible_capacities: tuple[float, ...] = ()
 
     @property
     def capacities(self) -> np.ndarray:
@@ -82,8 +93,12 @@ def sweep_uniform_capacities(
     levels: np.ndarray | None = None,
     clients: object = None,
     coalesce: bool = False,
+    program: StrategyProgram | None = None,
 ) -> CapacitySweepResult:
     """Sweep uniform node capacities and pick the best response time.
+
+    The LP structure is assembled once and every level solves as an RHS
+    variant against it (build-once/solve-many).
 
     Parameters
     ----------
@@ -96,18 +111,25 @@ def sweep_uniform_capacities(
         system's optimal load.
     clients:
         Client set for response-time averaging (loads always use all nodes).
+    program:
+        A pre-assembled :class:`StrategyProgram` for ``placed`` to reuse
+        (must match ``coalesce``); assembled here when omitted.
     """
     if levels is None:
         l_opt = optimal_load(placed.system).l_opt
         levels = capacity_levels(l_opt)
+    levels = np.asarray(levels, dtype=np.float64)
+    if program is None:
+        program = StrategyProgram(placed, coalesce=coalesce)
+    strategies = program.solve_many([float(c) for c in levels])
+
     points: list[CapacitySweepPoint] = []
-    for capacity in np.asarray(levels, dtype=np.float64):
-        try:
-            strategy = optimize_access_strategies(
-                placed, float(capacity), coalesce=coalesce
-            )
-        except InfeasibleError:
-            continue  # capacity below what any strategy profile can meet
+    infeasible: list[float] = []
+    for capacity, strategy in zip(levels, strategies):
+        if strategy is None:
+            # capacity below what any strategy profile can meet
+            infeasible.append(float(capacity))
+            continue
         result = evaluate(
             placed, strategy, alpha=alpha, clients=clients, coalesce=coalesce
         )
@@ -121,4 +143,8 @@ def sweep_uniform_capacities(
             "no capacity level admitted a feasible strategy profile"
         )
     best = min(points, key=lambda pt: pt.result.avg_response_time)
-    return CapacitySweepResult(points=points, best=best)
+    return CapacitySweepResult(
+        points=points,
+        best=best,
+        infeasible_capacities=tuple(infeasible),
+    )

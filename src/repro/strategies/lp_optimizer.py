@@ -13,18 +13,180 @@ The LP minimizes *network delay* while bounding per-node load, so it
 the capacity-sweep technique and the iterative algorithm build on. A
 solution may not exist when capacities are set below the system's optimal
 load; that surfaces as :class:`~repro.errors.InfeasibleError`.
+
+Only the capacity column (the RHS of (4.4)) depends on the capacities:
+objective and constraint matrices are fixed per placement. That makes the
+LP a build-once/solve-many family: :class:`StrategyProgram` assembles the
+constraint system exactly once (fully vectorized — one numpy broadcast per
+constraint group instead of tens of thousands of per-row appends) and then
+solves any number of capacity vectors against the shared structure through
+:class:`~repro.lp.batched.BatchedProgram`, which warm-starts HiGHS across
+variants when its bindings are importable.
 """
 
 from __future__ import annotations
+
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.core.placement import PlacedQuorumSystem
 from repro.core.strategy import ExplicitStrategy
 from repro.errors import StrategyError
-from repro.lp import LinearProgram, solve
+from repro.lp import BatchedProgram, LinearProgram
 
-__all__ = ["optimize_access_strategies"]
+__all__ = [
+    "StrategyProgram",
+    "optimize_access_strategies",
+    "optimize_access_strategies_many",
+]
+
+
+class StrategyProgram:
+    """LP (4.3)-(4.6) assembled once for a placement; capacities are RHS.
+
+    Usage::
+
+        program = StrategyProgram(placed)
+        strategy = program.solve(0.8)                  # one capacity level
+        strategies = program.solve_many([0.7, 0.8, 1])  # a whole sweep
+
+    Solving many levels reuses the assembled matrices (and, with HiGHS
+    bindings importable, re-optimizes from the previous basis) — one
+    assembly amortized over the family instead of one rebuild per level.
+
+    Parameters
+    ----------
+    placed:
+        A placed, enumerable quorum system.
+    coalesce:
+        Count a node once per accessed quorum instead of once per hosted
+        element (the future-work load model).
+    backend:
+        Passed to :class:`~repro.lp.batched.BatchedProgram` (``None``
+        auto-probes; ``"scipy"`` forces the per-variant fallback).
+    """
+
+    def __init__(
+        self,
+        placed: PlacedQuorumSystem,
+        coalesce: bool = False,
+        backend: str | None = None,
+    ) -> None:
+        if not placed.system.is_enumerable:
+            raise StrategyError(
+                f"{placed.system.name} is not enumerable; the strategy LP "
+                "needs explicit quorums"
+            )
+        self.placed = placed
+        self.coalesce = coalesce
+        n_clients = placed.n_nodes
+        m = placed.num_quorums
+
+        delta = placed.delay_matrix  # (clients, quorums)
+        a = placed.incidence_indicator if coalesce else placed.incidence_counts
+
+        lp = LinearProgram()
+        p = lp.add_block("p", (n_clients, m), lower=0.0, upper=1.0)
+
+        # Objective (4.3): (1/|V|) sum_v sum_i delta[v, i] p[v, i].
+        coefficients = (delta / n_clients).ravel()
+        nonzero = np.flatnonzero(coefficients)
+        lp.set_objective_many(p.offset + nonzero, coefficients[nonzero])
+
+        # Capacity constraints (4.4), one row per node with any placed
+        # element. Entry (v, i) of row w carries a[i, w] / |V|; the same
+        # per-quorum weights repeat for every client, so the whole group is
+        # one broadcast over (clients, nonzeros of a).
+        node_ids, quorum_ids = np.nonzero(a.T)
+        support = np.unique(node_ids)
+        row_local = np.searchsorted(support, node_ids)
+        weights = a[quorum_ids, node_ids] / n_clients
+        clients = np.arange(n_clients)
+        cols = (
+            p.offset + clients[:, None] * m + quorum_ids[None, :]
+        ).ravel()
+        rows = np.broadcast_to(row_local, (n_clients, row_local.size)).ravel()
+        vals = np.broadcast_to(weights, (n_clients, weights.size)).ravel()
+        lp.add_le_many(
+            rows, cols, vals, np.full(support.size, np.inf)
+        )
+
+        # Distribution constraints (4.5)-(4.6): one simplex per client.
+        lp.add_eq_many(
+            np.repeat(clients, m),
+            p.offset + np.arange(n_clients * m),
+            np.ones(n_clients * m),
+            np.ones(n_clients),
+        )
+
+        self._p_block = p
+        #: Nodes hosting at least one element, in row order of (4.4).
+        self.support_nodes = support
+        # Only the batched program's built arrays survive construction;
+        # the builder (and its COO chunks) is released here.
+        self._batched = BatchedProgram(lp, backend=backend)
+
+    @property
+    def backend(self) -> str:
+        """Which solver path variants run through (``highspy``,
+        ``scipy-highspy``, or ``scipy``)."""
+        return self._batched.backend
+
+    def normalize_capacities(
+        self, capacities: np.ndarray | float
+    ) -> np.ndarray:
+        """Validate and broadcast capacities to one value per node."""
+        placed = self.placed
+        caps = np.asarray(capacities, dtype=np.float64)
+        if caps.ndim == 0:
+            caps = np.full(placed.n_nodes, float(caps))
+        if caps.shape != (placed.n_nodes,):
+            raise StrategyError(
+                f"capacities must be scalar or shape ({placed.n_nodes},), "
+                f"got {caps.shape}"
+            )
+        if np.any(caps < 0):
+            raise StrategyError("capacities must be non-negative")
+        return caps
+
+    def _strategy_from(self, solution) -> ExplicitStrategy:
+        matrix = self._p_block.reshape(solution.x)
+        return ExplicitStrategy(matrix)
+
+    def solve(
+        self, capacities: np.ndarray | float
+    ) -> ExplicitStrategy:
+        """Solve for one capacity vector.
+
+        Raises
+        ------
+        InfeasibleError
+            If no strategy profile satisfies the capacity constraints.
+        """
+        caps = self.normalize_capacities(capacities)
+        solution = self._batched.solve(caps[self.support_nodes])
+        return self._strategy_from(solution)
+
+    def solve_many(
+        self, capacity_variants: Iterable[np.ndarray | float]
+    ) -> list[ExplicitStrategy | None]:
+        """Solve a family of capacity vectors against the shared structure.
+
+        Returns one entry per variant: the optimal strategy profile, or
+        ``None`` where that variant is infeasible (capacities below what
+        any profile can meet) — callers record those as dropped levels
+        rather than silently skipping them.
+        """
+        rhs = [
+            self.normalize_capacities(caps)[self.support_nodes]
+            for caps in capacity_variants
+        ]
+        solutions = self._batched.solve_many(rhs)
+        return [
+            None if sol is None else self._strategy_from(sol)
+            for sol in solutions
+        ]
 
 
 def optimize_access_strategies(
@@ -32,7 +194,11 @@ def optimize_access_strategies(
     capacities: np.ndarray | float,
     coalesce: bool = False,
 ) -> ExplicitStrategy:
-    """Solve LP (4.3)-(4.6) and return the optimal strategy profile.
+    """Solve LP (4.3)-(4.6) once and return the optimal strategy profile.
+
+    One-shot convenience over :class:`StrategyProgram`; when solving the
+    same placement for several capacity vectors, build the program once
+    and use :meth:`StrategyProgram.solve_many` instead.
 
     Parameters
     ----------
@@ -51,55 +217,20 @@ def optimize_access_strategies(
         If no strategy profile satisfies the capacity constraints (e.g.
         capacities below the optimal load of the placed system).
     """
-    if not placed.system.is_enumerable:
-        raise StrategyError(
-            f"{placed.system.name} is not enumerable; the strategy LP "
-            "needs explicit quorums"
-        )
-    n_clients = placed.n_nodes
-    m = placed.num_quorums
-    caps = np.asarray(capacities, dtype=np.float64)
-    if caps.ndim == 0:
-        caps = np.full(placed.n_nodes, float(caps))
-    if caps.shape != (placed.n_nodes,):
-        raise StrategyError(
-            f"capacities must be scalar or shape ({placed.n_nodes},), "
-            f"got {caps.shape}"
-        )
-    if np.any(caps < 0):
-        raise StrategyError("capacities must be non-negative")
+    return StrategyProgram(placed, coalesce=coalesce).solve(capacities)
 
-    delta = placed.delay_matrix  # (clients, quorums)
-    a = placed.incidence_indicator if coalesce else placed.incidence_counts
 
-    lp = LinearProgram()
-    p = lp.add_block("p", (n_clients, m), lower=0.0, upper=1.0)
+def optimize_access_strategies_many(
+    placed: PlacedQuorumSystem,
+    capacity_variants: Sequence[np.ndarray | float],
+    coalesce: bool = False,
+) -> list[ExplicitStrategy | None]:
+    """Solve LP (4.3)-(4.6) for many capacity vectors, assembling once.
 
-    # Objective (4.3): (1/|V|) sum_v sum_i delta[v, i] p[v, i].
-    coefficients = (delta / n_clients).ravel()
-    for flat_index, coefficient in enumerate(coefficients):
-        if coefficient != 0.0:
-            lp.set_objective(p.offset + flat_index, float(coefficient))
-
-    # Capacity constraints (4.4), one per node with any placed element.
-    quorum_ids_by_node = [np.flatnonzero(a[:, w]) for w in range(placed.n_nodes)]
-    for w, quorum_ids in enumerate(quorum_ids_by_node):
-        if quorum_ids.size == 0:
-            continue
-        weights = a[quorum_ids, w] / n_clients
-        cols: list[int] = []
-        vals: list[float] = []
-        for v in range(n_clients):
-            base = p.offset + v * m
-            cols.extend((base + quorum_ids).tolist())
-            vals.extend(weights.tolist())
-        lp.add_le(cols, vals, float(caps[w]))
-
-    # Distribution constraints (4.5)-(4.6).
-    for v in range(n_clients):
-        base = p.offset + v * m
-        lp.add_eq(list(range(base, base + m)), [1.0] * m, 1.0)
-
-    solution = solve(lp)
-    matrix = solution.block_values(lp, "p")
-    return ExplicitStrategy(matrix)
+    The build-once/solve-many entry point behind the capacity sweeps:
+    returns one strategy per variant, with ``None`` marking infeasible
+    variants so callers can report what was dropped.
+    """
+    return StrategyProgram(placed, coalesce=coalesce).solve_many(
+        capacity_variants
+    )

@@ -25,7 +25,7 @@ from repro.core.strategy import ExplicitStrategy
 from repro.errors import InfeasibleError, StrategyError
 from repro.quorums.load_analysis import optimal_load
 from repro.strategies.capacity_sweep import capacity_levels
-from repro.strategies.lp_optimizer import optimize_access_strategies
+from repro.strategies.lp_optimizer import StrategyProgram
 
 __all__ = [
     "nonuniform_capacities",
@@ -84,10 +84,12 @@ class NonuniformSweepPoint:
 
 @dataclass(frozen=True)
 class NonuniformSweepResult:
-    """All non-uniform sweep points plus the best one."""
+    """All feasible non-uniform sweep points, the best one, and the
+    interval upper ends ``gamma`` whose LP was infeasible (dropped)."""
 
     points: list[NonuniformSweepPoint]
     best: NonuniformSweepPoint
+    infeasible_gammas: tuple[float, ...] = ()
 
     @property
     def gammas(self) -> np.ndarray:
@@ -117,21 +119,28 @@ def sweep_nonuniform_capacities(
 
     For each ``c_i`` from :func:`capacity_levels`, capacities are spread
     inverse-proportionally over ``[L_opt, c_i]`` and LP (4.3)-(4.6) is
-    solved; the response-time-minimizing point wins.
+    solved; the response-time-minimizing point wins. The LP structure is
+    assembled once and every interval solves as an RHS variant against it;
+    infeasible intervals are recorded, not silently dropped.
     """
     l_opt = optimal_load(placed.system).l_opt
     if levels is None:
         levels = capacity_levels(l_opt)
-    points: list[NonuniformSweepPoint] = []
-    for gamma in np.asarray(levels, dtype=np.float64):
-        caps = nonuniform_capacities(
+    levels = np.asarray(levels, dtype=np.float64)
+    capacity_vectors = [
+        nonuniform_capacities(
             placed, beta=l_opt, gamma=float(gamma), clients=clients
         )
-        try:
-            strategy = optimize_access_strategies(
-                placed, caps, coalesce=coalesce
-            )
-        except InfeasibleError:
+        for gamma in levels
+    ]
+    program = StrategyProgram(placed, coalesce=coalesce)
+    strategies = program.solve_many(capacity_vectors)
+
+    points: list[NonuniformSweepPoint] = []
+    infeasible: list[float] = []
+    for gamma, caps, strategy in zip(levels, capacity_vectors, strategies):
+        if strategy is None:
+            infeasible.append(float(gamma))
             continue
         result = evaluate(
             placed, strategy, alpha=alpha, clients=clients, coalesce=coalesce
@@ -149,4 +158,6 @@ def sweep_nonuniform_capacities(
             "no non-uniform capacity interval admitted a feasible profile"
         )
     best = min(points, key=lambda pt: pt.result.avg_response_time)
-    return NonuniformSweepResult(points=points, best=best)
+    return NonuniformSweepResult(
+        points=points, best=best, infeasible_gammas=tuple(infeasible)
+    )

@@ -124,3 +124,107 @@ class TestSolve:
         lp.add_le([v.index(0)], [1.0], 1.0)
         lp.add_eq([v.index(1)], [1.0], 0.5)
         assert lp.n_constraints == 2
+        assert lp.n_le_constraints == 1
+        assert lp.n_eq_constraints == 1
+
+
+class TestVectorizedAssembly:
+    """The broadcast batch assembler must build the same matrices as the
+    row-by-row path (the batched backend's bit-compatibility anchor)."""
+
+    @staticmethod
+    def _random_rows(rng, n_rows, n_vars):
+        rows, cols, vals, rhs = [], [], [], []
+        for r in range(n_rows):
+            nnz = rng.integers(1, n_vars + 1)
+            chosen = rng.choice(n_vars, size=nnz, replace=False)
+            values = rng.normal(size=nnz)
+            rows.append(np.full(nnz, r))
+            cols.append(chosen)
+            vals.append(values)
+            rhs.append(float(rng.normal()))
+        return (
+            np.concatenate(rows),
+            np.concatenate(cols),
+            np.concatenate(vals),
+            np.asarray(rhs),
+        )
+
+    def test_loop_and_batch_build_identical_matrices(self):
+        rng = np.random.default_rng(7)
+        n_vars, n_rows = 12, 9
+        rows, cols, vals, rhs = self._random_rows(rng, n_rows, n_vars)
+
+        loop_lp = LinearProgram()
+        loop_lp.add_block("x", n_vars)
+        for r in range(n_rows):
+            mask = rows == r
+            loop_lp.add_le(
+                cols[mask].tolist(), vals[mask].tolist(), float(rhs[r])
+            )
+            loop_lp.add_eq(
+                cols[mask].tolist(), vals[mask].tolist(), float(rhs[r])
+            )
+
+        batch_lp = LinearProgram()
+        batch_lp.add_block("x", n_vars)
+        batch_lp.add_le_many(rows, cols, vals, rhs)
+        batch_lp.add_eq_many(rows, cols, vals, rhs)
+
+        loop_arrays = loop_lp.build()
+        batch_arrays = batch_lp.build()
+        for key in ("A_ub", "A_eq"):
+            assert (
+                loop_arrays[key].toarray() == batch_arrays[key].toarray()
+            ).all()
+        assert np.array_equal(loop_arrays["b_ub"], batch_arrays["b_ub"])
+        assert np.array_equal(loop_arrays["b_eq"], batch_arrays["b_eq"])
+
+    def test_objective_many_matches_scalar_loop(self):
+        coefs = np.array([0.5, 0.0, -1.5, 2.25])
+        loop_lp = LinearProgram()
+        loop_lp.add_block("x", 4)
+        for i, c in enumerate(coefs):
+            loop_lp.set_objective(i, float(c))
+        batch_lp = LinearProgram()
+        batch_lp.add_block("x", 4)
+        batch_lp.set_objective_many(np.arange(4), coefs)
+        assert np.array_equal(
+            loop_lp.build()["c"], batch_lp.build()["c"]
+        )
+
+    def test_objective_many_accumulates(self):
+        lp = LinearProgram()
+        lp.add_block("x", 2)
+        lp.set_objective_many([0, 0, 1], [1.0, 2.0, 5.0])
+        lp.set_objective(0, 4.0)
+        assert np.array_equal(lp.build()["c"], [7.0, 5.0])
+
+    def test_batch_length_mismatch_rejected(self):
+        lp = LinearProgram()
+        lp.add_block("x", 3)
+        with pytest.raises(SolverError):
+            lp.add_le_many([0, 0], [0, 1, 2], [1.0, 1.0, 1.0], [0.0])
+        with pytest.raises(SolverError):
+            lp.set_objective_many([0, 1], [1.0])
+
+    def test_batch_row_index_out_of_range_rejected(self):
+        lp = LinearProgram()
+        lp.add_block("x", 3)
+        with pytest.raises(SolverError):
+            lp.add_le_many([0, 2], [0, 1], [1.0, 1.0], [0.0])
+
+    def test_mixed_single_and_batch_rows(self):
+        lp = LinearProgram()
+        v = lp.add_block("x", 2)
+        first = lp.add_le([v.index(0)], [1.0], 1.0)
+        batch = lp.add_le_many(
+            [0, 1], [v.index(0), v.index(1)], [2.0, 3.0], [0.5, 0.25]
+        )
+        assert (first, batch) == (0, 1)
+        arrays = lp.build()
+        assert np.array_equal(
+            arrays["A_ub"].toarray(),
+            [[1.0, 0.0], [2.0, 0.0], [0.0, 3.0]],
+        )
+        assert np.array_equal(arrays["b_ub"], [1.0, 0.5, 0.25])

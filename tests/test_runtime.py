@@ -123,6 +123,69 @@ class TestResultCache:
         assert len(cache) == 0
 
 
+class TestCacheEviction:
+    @staticmethod
+    def _backdate(cache, key, seconds_ago):
+        import os
+
+        path = cache.path_for(key)
+        stamp = path.stat().st_mtime - seconds_ago
+        os.utime(path, (stamp, stamp))
+
+    def test_overfill_drops_oldest_entries(self, tmp_path):
+        payload = b"x" * 1024  # ~1 KiB pickled payloads
+        unbounded = ResultCache(tmp_path)
+        keys = [content_key(x=i) for i in range(6)]
+        for i, key in enumerate(keys):
+            unbounded.put(key, payload)
+            # entry i is i*10 seconds older than the newest
+            self._backdate(unbounded, key, (len(keys) - i) * 10)
+        total = unbounded.size_bytes()
+        per_entry = total // len(keys)
+
+        cache = ResultCache(tmp_path, max_size_bytes=3 * per_entry + 64)
+        # construction already trims: the three oldest entries are gone,
+        # the three newest survive
+        assert len(cache) == 3
+        for key in keys[:3]:
+            hit, _ = cache.lookup(key)
+            assert not hit
+        for key in keys[3:]:
+            hit, value = cache.lookup(key)
+            assert hit and value == payload
+        assert cache.evictions == 3
+        assert cache.size_bytes() <= cache.max_size_bytes
+
+    def test_put_triggers_trim(self, tmp_path):
+        payload = b"y" * 2048
+        probe = ResultCache(tmp_path)
+        probe.put(content_key(probe=True), payload)
+        per_entry = probe.size_bytes()
+        probe.clear()
+
+        cache = ResultCache(tmp_path, max_size_bytes=2 * per_entry + 64)
+        keys = [content_key(x=i) for i in range(4)]
+        for i, key in enumerate(keys):
+            cache.put(key, payload)
+            self._backdate(cache, key, (len(keys) - i) * 10)
+        assert cache.size_bytes() <= cache.max_size_bytes
+        hit, _ = cache.lookup(keys[0])
+        assert not hit  # oldest evicted
+        hit, _ = cache.lookup(keys[-1])
+        assert hit  # newest kept
+
+    def test_unbounded_cache_never_trims(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(5):
+            cache.put(content_key(x=i), b"z" * 4096)
+        assert cache.trim() == 0
+        assert len(cache) == 5
+
+    def test_invalid_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_size_bytes=0)
+
+
 class TestGridRunner:
     def test_serial_run_keyed_by_tag(self):
         points = [

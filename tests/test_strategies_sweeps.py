@@ -82,6 +82,25 @@ class TestUniformSweep:
         )
         assert list(sweep.capacities) == [1.0]
 
+    def test_infeasible_levels_recorded_not_silently_dropped(
+        self, grid3_placed
+    ):
+        l_opt = optimal_load(grid3_placed.system).l_opt
+        sweep = sweep_uniform_capacities(
+            grid3_placed,
+            alpha=10.0,
+            levels=np.array([l_opt * 0.25, l_opt * 0.5, 1.0]),
+        )
+        assert sweep.infeasible_capacities == pytest.approx(
+            (l_opt * 0.25, l_opt * 0.5)
+        )
+
+    def test_all_feasible_records_nothing(self, grid3_placed):
+        sweep = sweep_uniform_capacities(
+            grid3_placed, alpha=10.0, levels=np.array([0.8, 1.0])
+        )
+        assert sweep.infeasible_capacities == ()
+
 
 class TestNonuniformCapacities:
     def test_range_endpoints(self, grid3_placed):
@@ -137,6 +156,7 @@ class TestNonuniformSweep:
     def test_points_and_best(self, grid3_placed):
         sweep = sweep_nonuniform_capacities(grid3_placed, alpha=50.0)
         assert len(sweep.points) >= 1
+        assert len(sweep.points) + len(sweep.infeasible_gammas) == 10
         assert sweep.best.result.avg_response_time == pytest.approx(
             min(p.result.avg_response_time for p in sweep.points)
         )
