@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Link-check markdown docs: every relative link must resolve.
+
+Usage::
+
+    python scripts/check_links.py README.md docs
+
+Walks the given markdown files (directories are searched for ``*.md``)
+and verifies that every ``[text](target)`` and ``[text]: target``
+reference with a *relative* target points at an existing file, and that
+``file#anchor`` fragments match a heading in the target file (GitHub
+slug rules: lowercase, punctuation stripped, spaces to hyphens).
+External ``http(s)://`` / ``mailto:`` links are only checked for obvious
+malformation — CI must not depend on network reachability.
+
+Exits non-zero listing every broken link, so it can gate a docs CI job.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFERENCE_LINK = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def github_slug(heading: str) -> str:
+    """The anchor GitHub generates for a heading."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(markdown: str) -> set[str]:
+    anchors = set()
+    fenced = re.sub(r"```.*?```", "", markdown, flags=re.DOTALL)
+    for match in HEADING.finditer(fenced):
+        anchors.add(github_slug(match.group(1)))
+    return anchors
+
+
+def iter_targets(markdown: str):
+    fenced = re.sub(r"```.*?```", "", markdown, flags=re.DOTALL)
+    for pattern in (INLINE_LINK, REFERENCE_LINK):
+        for match in pattern.finditer(fenced):
+            yield match.group(1)
+
+
+def check_file(path: Path) -> list[str]:
+    problems = []
+    markdown = path.read_text(encoding="utf-8")
+    for target in iter_targets(markdown):
+        if target.startswith(EXTERNAL):
+            if not re.match(r"^(https?://|mailto:)\S+\.\S+", target):
+                problems.append(f"{path}: malformed external link {target!r}")
+            continue
+        if target.startswith("#"):
+            if github_slug(target[1:]) not in heading_anchors(markdown):
+                problems.append(f"{path}: missing anchor {target!r}")
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            problems.append(f"{path}: broken link {target!r}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            anchors = heading_anchors(resolved.read_text(encoding="utf-8"))
+            if anchor not in anchors:
+                problems.append(
+                    f"{path}: missing anchor {anchor!r} in {file_part}"
+                )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        argv = ["README.md", "docs"]
+    files: list[Path] = []
+    for arg in argv:
+        path = Path(arg)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+        else:
+            print(f"error: no such file or directory: {arg}", file=sys.stderr)
+            return 2
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} markdown file(s): "
+          f"{'FAIL' if problems else 'ok'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

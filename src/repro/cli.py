@@ -17,7 +17,11 @@ time. Subcommands::
 ``--jobs`` parallelizes the independent units of work (placement
 candidates for ``plan``, grid points for ``figure``) over worker
 processes; ``figure`` results are cached on disk by a content hash of
-their inputs unless ``--no-cache`` is given.
+their inputs unless ``--no-cache`` is given. A figure run uses exactly
+one process pool no matter how deep the work nests: the same ``--jobs``
+value is threaded into each grid point's inner placement searches, which
+detect that they are already inside a worker and run inline. Results are
+identical for every ``--jobs`` value.
 """
 
 from __future__ import annotations
@@ -39,6 +43,7 @@ from repro.quorums.grid import GridQuorumSystem
 from repro.quorums.load_analysis import optimal_load
 from repro.quorums.threshold import MajorityKind, majority
 from repro.runtime.cache import ResultCache
+from repro.runtime.runner import GridRunner
 from repro.strategies.capacity_sweep import sweep_uniform_capacities
 from repro.strategies.simple import balanced_strategy, closest_strategy
 
@@ -146,12 +151,14 @@ def _cmd_plan(args) -> int:
     alpha = alpha_from_demand(args.demand)
 
     if args.many_to_one is not None:
-        search = best_many_to_one_placement(
-            topology,
-            system,
-            capacities=np.full(topology.n_nodes, args.many_to_one),
-            candidates=np.argsort(topology.mean_distances())[:15],
-        )
+        with GridRunner(jobs=args.jobs) as runner:
+            search = best_many_to_one_placement(
+                topology,
+                system,
+                capacities=np.full(topology.n_nodes, args.many_to_one),
+                candidates=np.argsort(topology.mean_distances())[:15],
+                runner=runner,
+            )
         placed = search.placed
         placement_kind = f"many-to-one (cap {args.many_to_one})"
         strategy, strategy_name = (

@@ -14,6 +14,18 @@ After each iteration the expected response time (4.2) is computed; if it
 failed to decrease, the algorithm halts and returns the *previous*
 iteration's placement and strategies. The per-phase network delays are
 recorded because Figure 8.9 plots them.
+
+Both LP families the loop solves are batched. The strategy LP's assembled
+program is memoized per placement (its capacities are pure RHS), and the
+placement phase threads one
+:class:`~repro.placement.fractional.FractionalFamily` through every
+iteration: each candidate client's fractional LP is assembled exactly once
+and later iterations only rewrite its element-load rows and re-solve —
+warm-started when HiGHS bindings import. A shared
+:class:`~repro.runtime.runner.GridRunner` can be passed to fan the
+candidate searches out instead; inside one of its own workers (e.g. a
+``fig_8_9`` grid point) it degrades to the serial in-process loop, so
+process pools never nest.
 """
 
 from __future__ import annotations
@@ -25,8 +37,9 @@ import numpy as np
 from repro.core.placement import PlacedQuorumSystem
 from repro.core.response_time import evaluate
 from repro.core.strategy import ExplicitStrategy
-from repro.errors import InfeasibleError
+from repro.errors import InfeasibleError, ReproError
 from repro.network.graph import Topology
+from repro.placement.fractional import FractionalFamily
 from repro.placement.many_to_one import best_many_to_one_placement
 from repro.quorums.base import QuorumSystem
 from repro.strategies.lp_optimizer import StrategyProgram
@@ -76,6 +89,9 @@ def iterative_optimize(
     max_iterations: int = 10,
     candidates: object = None,
     coalesce: bool = False,
+    runner: object = None,
+    family: FractionalFamily | None = None,
+    fractional: str = "batched",
 ) -> IterativeResult:
     """Run the iterative algorithm until response time stops improving.
 
@@ -91,7 +107,36 @@ def iterative_optimize(
         Lin–Vitter filtering parameter of the placement phase.
     max_iterations:
         Safety bound; the paper observes most runs stop after one iteration.
+    runner:
+        A shared :class:`~repro.runtime.runner.GridRunner`; when it would
+        dispatch to worker processes, each iteration's candidate searches
+        fan out over its pool as independent cold solves (solver state
+        cannot cross processes). Inside one of its workers, or serial, it
+        is a no-op and the batched family below is used instead.
+    family:
+        A :class:`~repro.placement.fractional.FractionalFamily` to reuse
+        across *calls* (e.g. a capacity sweep over one
+        ``(topology, system)``); by default a fresh family is created per
+        call. Requires ``fractional="batched"``.
+    fractional:
+        ``"batched"`` (default) assembles each candidate's fractional LP
+        once and re-solves it warm across iterations; ``"loop"`` keeps the
+        original assemble-row-by-row/solve-cold reference path (used by
+        the equivalence tests and benchmarks).
     """
+    if fractional not in ("batched", "loop"):
+        raise ReproError(
+            f"unknown fractional mode {fractional!r}; "
+            "choose 'batched' or 'loop'"
+        )
+    if fractional == "loop":
+        if family is not None:
+            raise ReproError(
+                "a FractionalFamily implies the batched path; "
+                "drop family= or use fractional='batched'"
+            )
+    elif family is None:
+        family = FractionalFamily(topology, system)
     cap0 = np.asarray(capacities, dtype=np.float64)
     if cap0.ndim == 0:
         cap0 = np.full(topology.n_nodes, float(cap0))
@@ -126,6 +171,9 @@ def iterative_optimize(
             eps=eps,
             candidates=candidates,
             clients=clients,
+            family=family,
+            runner=runner,
+            fractional=fractional,
         )
         placed_j = search.placed
 

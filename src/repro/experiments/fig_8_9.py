@@ -9,10 +9,17 @@ adds little; the one-to-one baseline sits well above both.
 
 Declared as one grid point per capacity level plus the one-to-one
 baseline point; capacity levels are independent iterative runs. Within a
-run the Section 4.2 algorithm re-solves the strategy LP every iteration;
-those solves now share one assembled program per placement
-(build-once/solve-many through ``repro.lp``), so a grid point amortizes
-constraint assembly across its whole iteration history.
+run both LP families are batched: the strategy LP shares one assembled
+program per placement, and the placement phase threads one
+``FractionalFamily`` through its whole iteration history, so each
+candidate's fractional LP is assembled once and re-solved warm.
+
+``--jobs N`` uses exactly one process pool for the whole figure: the
+outer :class:`~repro.runtime.runner.GridRunner` fans the capacity levels
+out over its workers, and the runner each point threads through its inner
+best-placement searches detects that it is already inside a worker and
+runs inline — runners nest, pools do not. Results are bit-identical to
+``jobs=1`` (pinned by ``tests/test_runtime.py``).
 """
 
 from __future__ import annotations
@@ -35,25 +42,34 @@ from repro.strategies.capacity_sweep import capacity_levels
 __all__ = ["run", "grid_spec"]
 
 
-def _one_to_one_delay(topology: Topology, k: int) -> float:
-    placed = best_placement(topology, GridQuorumSystem(k)).placed
+def _one_to_one_delay(topology: Topology, k: int, jobs: int = 1) -> float:
+    with GridRunner(jobs=jobs) as runner:
+        placed = best_placement(
+            topology, GridQuorumSystem(k), runner=runner
+        ).placed
     return evaluate(
         placed, uniform_strategy_for(placed)
     ).avg_network_delay
 
 
 def _iterative_point(
-    topology: Topology, k: int, capacity: float, candidates: object
+    topology: Topology,
+    k: int,
+    capacity: float,
+    candidates: object,
+    jobs: int = 1,
 ) -> tuple[float, float]:
     """(iteration-1 delay, iteration-2 delay) for one capacity level."""
-    result = iterative_optimize(
-        topology,
-        GridQuorumSystem(k),
-        capacities=capacity,
-        alpha=0.0,
-        candidates=candidates,
-        max_iterations=3,
-    )
+    with GridRunner(jobs=jobs) as runner:
+        result = iterative_optimize(
+            topology,
+            GridQuorumSystem(k),
+            capacities=capacity,
+            alpha=0.0,
+            candidates=candidates,
+            max_iterations=3,
+            runner=runner,
+        )
     history = result.history
     first = history[0].phase2_network_delay
     second = (
@@ -68,8 +84,14 @@ def grid_spec(
     k: int = 5,
     capacity_steps: int | None = None,
     candidates: object = None,
+    jobs: int = 1,
 ) -> GridSpec:
-    """Declare Figure 8.9's grid: one point per capacity level + baseline."""
+    """Declare Figure 8.9's grid: one point per capacity level + baseline.
+
+    ``jobs`` is threaded into each point's inner placement searches; it
+    never reaches the cache keys because results are identical for any
+    worker count.
+    """
     capacity_steps = capacity_steps or (4 if fast else 10)
     system = GridQuorumSystem(k)
 
@@ -91,7 +113,7 @@ def grid_spec(
         GridPoint(
             tag="one-to-one",
             fn=_one_to_one_delay,
-            kwargs={"topology": topology, "k": k},
+            kwargs={"topology": topology, "k": k, "jobs": jobs},
             cache_key={
                 "figure_point": "one_to_one_netdelay",
                 "topology": topo_fp,
@@ -109,6 +131,7 @@ def grid_spec(
                     "k": k,
                     "capacity": capacity,
                     "candidates": candidate_arr,
+                    "jobs": jobs,
                 },
                 cache_key={
                     "figure_point": "iterative_netdelay",
@@ -160,12 +183,13 @@ def run(
     """
     if topology is None:
         topology = planetlab_50()
+    runner = runner or GridRunner()
     spec = grid_spec(
         topology,
         fast=fast,
         k=k,
         capacity_steps=capacity_steps,
         candidates=candidates,
+        jobs=runner.jobs,
     )
-    runner = runner or GridRunner()
     return spec.assemble(runner.run(spec.points))

@@ -54,7 +54,11 @@ def run_figure(
     ``jobs`` fans the figure's grid points out over worker processes
     (``None``/``0`` = all cores); ``cache`` reuses previously computed
     points keyed by content hash. Results are identical regardless of
-    either setting.
+    either setting. The runner created here is the figure's *only*
+    process pool — runners threaded through inner searches (e.g.
+    ``fig_8_9``'s candidate loops) run inline inside its workers — and is
+    shut down when the figure completes; pass ``runner=`` to share one
+    across figures instead.
     """
     try:
         runner_fn = FIGURES[figure_id]
@@ -62,5 +66,7 @@ def run_figure(
         raise ReproError(
             f"unknown figure {figure_id!r}; available: {sorted(FIGURES)}"
         ) from None
-    kwargs.setdefault("runner", GridRunner(jobs=jobs, cache=cache))
-    return runner_fn(fast=fast, **kwargs)
+    if "runner" in kwargs:
+        return runner_fn(fast=fast, **kwargs)
+    with GridRunner(jobs=jobs, cache=cache) as runner:
+        return runner_fn(fast=fast, runner=runner, **kwargs)

@@ -20,6 +20,14 @@ Build-once/solve-many usage::
     batched = BatchedProgram(lp)            # matrices assembled once
     solutions = batched.solve_many(rhs_variants)  # warm-started when
                                                   # HiGHS bindings exist
+    batched.update_le_rows(rows, values)    # coefficient drift in place
+    batched.update_objective(vars, coefs)   # (same fixed sparsity)
+
+Both of the paper's LP families run on this backend: the access-strategy
+LP (:class:`repro.strategies.lp_optimizer.StrategyProgram`, pure-RHS
+capacity sweeps) and the fractional-placement LP
+(:class:`repro.placement.fractional.FractionalProgram`, whose
+element-load rows drift as the iterative algorithm's strategy evolves).
 """
 
 from repro.lp.batched import BatchedProgram, lp_backend_name

@@ -20,6 +20,15 @@ Two solver paths sit behind one interface:
   ``scipy.optimize.linprog`` call reusing the prebuilt CSR matrices, so
   only assembly (not the cold solve) is amortized.
 
+Families whose *coefficients* drift — not just their RHS — are covered by
+the in-place update hooks: :meth:`BatchedProgram.update_objective` and
+:meth:`BatchedProgram.update_le_rows` rewrite objective entries or whole
+inequality rows against the fixed sparsity structure, keeping the scipy
+arrays and the persistent HiGHS model in sync, so the next solve still
+re-optimizes from the previous basis. The fractional-placement LP uses
+this: its element-load rows change as the iterative algorithm's strategy
+evolves, while everything else in the constraint system stays put.
+
 The probe is transparent: callers never see which path ran unless they ask
 (:attr:`BatchedProgram.backend`). Set ``REPRO_LP_BACKEND=scipy`` to force
 the fallback (the equivalence tests use this to compare both paths).
@@ -125,6 +134,16 @@ class _HighsBackend:
             raise SolverError(f"HiGHS rejected the model: {status}")
         self._solver = solver
 
+    def update_objective(self, variables: np.ndarray, values: np.ndarray) -> None:
+        for var, value in zip(variables, values):
+            self._solver.changeColCost(int(var), float(value))
+
+    def update_coefficients(
+        self, rows: np.ndarray, cols: np.ndarray, values: np.ndarray
+    ) -> None:
+        for row, col, value in zip(rows, cols, values):
+            self._solver.changeCoeff(int(row), int(col), float(value))
+
     def solve(self, b_ub: np.ndarray | None) -> LPSolution | None:
         hs = self._hs
         if self._n_le:
@@ -155,6 +174,12 @@ class _ScipyBackend:
     def __init__(self, arrays: dict) -> None:
         self._arrays = arrays
 
+    def update_objective(self, variables, values) -> None:
+        pass  # BatchedProgram already rewrote the shared arrays in place
+
+    def update_coefficients(self, rows, cols, values) -> None:
+        pass  # ditto: linprog reads the CSR matrix freshly every call
+
     def solve(self, b_ub: np.ndarray | None) -> LPSolution | None:
         arrays = self._arrays
         result = linprog(
@@ -178,12 +203,22 @@ class _ScipyBackend:
 class BatchedProgram:
     """A built LP whose inequality RHS can be swept without reassembly.
 
-    Usage::
+    ``min x + 2y`` subject to ``x + y >= b`` over ``[0, 10]^2``, solved
+    for a family of ``b`` values against one assembled structure:
 
-        lp = LinearProgram()
-        ... add blocks / objective / constraints once ...
-        batched = BatchedProgram(lp)
-        solutions = batched.solve_many([b_ub_0, b_ub_1, ...])
+    >>> from repro.lp.problem import LinearProgram
+    >>> lp = LinearProgram()
+    >>> v = lp.add_block("v", 2, lower=0.0, upper=10.0)
+    >>> lp.set_objective_many([v.index(0), v.index(1)], [1.0, 2.0])
+    >>> lp.add_le([v.index(0), v.index(1)], [-1.0, -1.0], -1.0)
+    0
+    >>> batched = BatchedProgram(lp)
+    >>> [None if s is None else round(s.objective, 9)
+    ...  for s in batched.solve_many([[-1.0], [-4.0], [-25.0]])]
+    [1.0, 4.0, None]
+
+    (``x + y >= 25`` exceeds the variable bounds, so that variant is
+    reported infeasible rather than raising.)
 
     ``solve_many`` returns one entry per variant: an
     :class:`~repro.lp.solver.LPSolution` when that variant is feasible,
@@ -239,6 +274,88 @@ class BatchedProgram:
     @property
     def n_le_constraints(self) -> int:
         return self._n_le
+
+    @property
+    def arrays(self) -> dict:
+        """The built solver arrays (``c``, ``A_ub``, ``b_ub``, ...).
+
+        Shared with the backend — treat as read-only and go through
+        :meth:`update_objective` / :meth:`update_le_rows` to mutate, so the
+        persistent HiGHS model never drifts from the arrays.
+        """
+        return self._arrays
+
+    def update_objective(
+        self,
+        variables: np.ndarray | Sequence[int],
+        coefficients: np.ndarray | Sequence[float],
+    ) -> None:
+        """Overwrite the objective coefficients of selected variables.
+
+        Unlike :meth:`~repro.lp.problem.LinearProgram.set_objective`, this
+        *replaces* (does not accumulate) — it is the re-parameterization
+        hook for solved-in-place program families. The persistent HiGHS
+        model, when active, is updated in the same call, so the next solve
+        warm-starts against the new objective.
+        """
+        variables = np.asarray(variables, dtype=np.intp)
+        coefficients = np.asarray(coefficients, dtype=np.float64)
+        if variables.shape != coefficients.shape:
+            raise SolverError(
+                "objective variables and coefficients length mismatch"
+            )
+        if variables.size and (
+            variables.min() < 0 or variables.max() >= self.n_variables
+        ):
+            raise SolverError(
+                f"objective variables must lie in [0, {self.n_variables})"
+            )
+        self._arrays["c"][variables] = coefficients
+        self._impl.update_objective(variables, coefficients)
+
+    def update_le_rows(
+        self,
+        rows: np.ndarray | Sequence[int],
+        values: np.ndarray,
+    ) -> None:
+        """Overwrite the stored values of whole inequality rows.
+
+        ``values[k]`` must hold row ``rows[k]``'s coefficients for its
+        existing sparsity structure, in ascending-column order (the
+        canonical CSR order the program was built into). Only values
+        change — entries cannot be added or removed, which is exactly the
+        contract of a program family whose coefficients drift over a fixed
+        structure (e.g. the element-load rows of the fractional-placement
+        LP). Explicitly stored zeros stay in the structure and may be
+        overwritten with new values later.
+        """
+        matrix = self._arrays["A_ub"]
+        if matrix is None:
+            raise SolverError("program has no inequality rows to update")
+        rows = np.asarray(rows, dtype=np.intp)
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim != 2 or values.shape[0] != rows.size:
+            raise SolverError(
+                "update_le_rows expects one value row per updated row"
+            )
+        if rows.size and (rows.min() < 0 or rows.max() >= self._n_le):
+            raise SolverError(
+                f"row indices must lie in [0, {self._n_le})"
+            )
+        indptr, indices = matrix.indptr, matrix.indices
+        starts, ends = indptr[rows], indptr[rows + 1]
+        if np.any(ends - starts != values.shape[1]):
+            raise SolverError(
+                "value rows must match each row's stored entry count"
+            )
+        for start, row_values in zip(starts, values):
+            matrix.data[start : start + values.shape[1]] = row_values
+        cols = np.concatenate(
+            [indices[s:e] for s, e in zip(starts, ends)]
+        ) if rows.size else np.empty(0, dtype=indices.dtype)
+        self._impl.update_coefficients(
+            np.repeat(rows, values.shape[1]), cols, values.ravel()
+        )
 
     def _check_rhs(self, b_ub) -> np.ndarray | None:
         if self._n_le == 0:

@@ -150,16 +150,21 @@ class _Triplets:
 class LinearProgram:
     """A minimization LP built incrementally.
 
-    Usage::
+    Variables live in named blocks; constraints are added one row at a
+    time or — the fast path — as flat COO batches via
+    :meth:`add_le_many` / :meth:`add_eq_many`. ``min x + 2y`` subject to
+    ``x + y >= 1`` (written ``-x - y <= -1``) over ``[0, 10]^2``:
 
-        lp = LinearProgram()
-        x = lp.add_block("x", (n, m), lower=0.0)
-        lp.set_objective(x.index(i, j), c_ij)
-        lp.set_objective_many(var_array, coef_array)     # vectorized
-        lp.add_le([x.index(i, j), ...], [a, ...], b)     # a'x <= b
-        lp.add_le_many(rows, cols, vals, rhs)            # batch of rows
-        lp.add_eq([...], [...], b)                       # a'x == b
-        arrays = lp.build()
+    >>> lp = LinearProgram()
+    >>> v = lp.add_block("v", 2, lower=0.0, upper=10.0)
+    >>> lp.set_objective_many([v.index(0), v.index(1)], [1.0, 2.0])
+    >>> lp.add_le([v.index(0), v.index(1)], [-1.0, -1.0], -1.0)
+    0
+    >>> lp.n_variables, lp.n_le_constraints
+    (2, 1)
+    >>> from repro.lp import solve
+    >>> solve(lp).objective
+    1.0
 
     For families of LPs sharing structure and differing only in their
     inequality right-hand sides, build once and solve the whole family via

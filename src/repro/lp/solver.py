@@ -46,7 +46,17 @@ class LPSolution:
 
 
 def solve(program: LinearProgram) -> LPSolution:
-    """Minimize the program; raise on infeasibility or solver failure."""
+    """Minimize the program; raise on infeasibility or solver failure.
+
+    >>> from repro.lp.problem import LinearProgram
+    >>> lp = LinearProgram()
+    >>> x = lp.add_block("x", 1, lower=0.0)
+    >>> lp.set_objective(x.index(0), 1.0)
+    >>> lp.add_le([x.index(0)], [-1.0], -2.0)   # x >= 2
+    0
+    >>> solve(lp).objective
+    2.0
+    """
     arrays = program.build()
     result = linprog(
         arrays["c"],

@@ -19,7 +19,13 @@ and :func:`~repro.placement.search.best_placement` wraps the paper's
 """
 
 from repro.placement.filtering import lin_vitter_filter
-from repro.placement.fractional import FractionalPlacement, fractional_placement
+from repro.placement.fractional import (
+    FractionalFamily,
+    FractionalPlacement,
+    FractionalProgram,
+    fractional_placement,
+    fractional_placement_loop,
+)
 from repro.placement.gap import round_fractional_placement
 from repro.placement.many_to_one import (
     best_many_to_one_placement,
@@ -39,7 +45,10 @@ __all__ = [
     "one_to_one_placement",
     "singleton_placement",
     "fractional_placement",
+    "fractional_placement_loop",
+    "FractionalFamily",
     "FractionalPlacement",
+    "FractionalProgram",
     "lin_vitter_filter",
     "round_fractional_placement",
     "many_to_one_placement",

@@ -6,6 +6,17 @@ one-to-one algorithms, the best placement overall is found by running the
 single-client algorithm from every node and keeping the placement with the
 smallest average network delay over all clients
 (:func:`best_many_to_one_placement`).
+
+The search solves one fractional LP per candidate, so it is where the
+batched LP machinery pays off: pass a
+:class:`~repro.placement.fractional.FractionalFamily` to reuse assembled
+(and warm-started) per-candidate programs across repeated searches — the
+Section 4.2 iterative algorithm does exactly that — or pass a parallel
+:class:`~repro.runtime.runner.GridRunner` to fan the candidate evaluations
+out over worker processes. The two are alternatives: solver state cannot
+cross process boundaries, so a parallel runner makes every candidate an
+independent cold evaluation (bit-identical regardless of worker count),
+while the family keeps everything in-process and warm.
 """
 
 from __future__ import annotations
@@ -18,7 +29,12 @@ from repro.core.placement import PlacedQuorumSystem, Placement
 from repro.errors import InfeasibleError, PlacementError
 from repro.network.graph import Topology
 from repro.placement.filtering import lin_vitter_filter
-from repro.placement.fractional import fractional_placement
+from repro.placement.fractional import (
+    FractionalFamily,
+    FractionalProgram,
+    fractional_placement,
+    fractional_placement_loop,
+)
 from repro.placement.gap import round_fractional_placement
 from repro.quorums.base import QuorumSystem
 
@@ -36,15 +52,45 @@ def many_to_one_placement(
     capacities: np.ndarray | None = None,
     strategy: np.ndarray | None = None,
     eps: float = 1.0 / 3.0,
+    program: FractionalProgram | None = None,
+    fractional: str = "batched",
 ) -> Placement:
     """LP + filter + round for designated client ``v0``.
+
+    With ``program`` (an assembled
+    :class:`~repro.placement.fractional.FractionalProgram` for this
+    ``v0``), the LP stage re-solves the existing program — warm-started
+    when HiGHS bindings import — instead of assembling from scratch.
+    Otherwise ``fractional`` picks the one-shot path: ``"batched"``
+    (vectorized assembly) or ``"loop"`` (the row-by-row reference).
 
     Raises :class:`~repro.errors.InfeasibleError` when the capacities admit
     no fractional placement at all.
     """
-    frac = fractional_placement(
-        topology, system, v0, capacities=capacities, strategy=strategy
-    )
+    if fractional not in ("batched", "loop"):
+        raise PlacementError(
+            f"unknown fractional mode {fractional!r}; "
+            "choose 'batched' or 'loop'"
+        )
+    if program is not None:
+        if fractional == "loop":
+            raise PlacementError(
+                "an assembled program implies the batched path; "
+                "drop program= or use fractional='batched'"
+            )
+        if program.v0 != v0:
+            raise PlacementError(
+                f"program was assembled for v0={program.v0}, not v0={v0}"
+            )
+        frac = program.solve(capacities=capacities, strategy=strategy)
+    elif fractional == "loop":
+        frac = fractional_placement_loop(
+            topology, system, v0, capacities=capacities, strategy=strategy
+        )
+    else:
+        frac = fractional_placement(
+            topology, system, v0, capacities=capacities, strategy=strategy
+        )
     dist = topology.distances_from(v0)
     filtered = lin_vitter_filter(frac.x, dist, eps=eps)
     return round_fractional_placement(filtered, dist, frac.element_loads)
@@ -68,6 +114,37 @@ def _average_delay_under_global_strategy(
     return float((delta @ strategy).mean())
 
 
+def _many_to_one_candidate(
+    topology: Topology,
+    system: QuorumSystem,
+    v0: int,
+    capacities: np.ndarray | None,
+    strategy: np.ndarray,
+    eps: float,
+    clients: np.ndarray,
+    program: FractionalProgram | None = None,
+    fractional: str = "batched",
+) -> tuple[np.ndarray, float] | None:
+    """``(assignment, delay)`` for one candidate, or None if infeasible.
+
+    Module-level and self-contained so the best-``v0`` search can fan
+    candidates out over a process pool; without ``program`` each call is a
+    pure function of its arguments (fresh program, cold solve), which is
+    what makes the parallel search bit-identical to the serial no-family
+    one.
+    """
+    try:
+        placement = many_to_one_placement(
+            topology, system, v0, capacities=capacities, strategy=strategy,
+            eps=eps, program=program, fractional=fractional,
+        )
+    except InfeasibleError:
+        return None
+    placed = PlacedQuorumSystem(system, placement, topology)
+    delay = _average_delay_under_global_strategy(placed, strategy, clients)
+    return placement.assignment, delay
+
+
 def best_many_to_one_placement(
     topology: Topology,
     system: QuorumSystem,
@@ -76,13 +153,38 @@ def best_many_to_one_placement(
     eps: float = 1.0 / 3.0,
     candidates: object = None,
     clients: object = None,
+    family: FractionalFamily | None = None,
+    runner: object = None,
+    fractional: str = "batched",
 ) -> ManyToOneSearchResult:
     """Run :func:`many_to_one_placement` from candidate clients, keep the best.
 
     Candidates infeasible under the given capacities are skipped; if every
     candidate is infeasible, :class:`~repro.errors.InfeasibleError` is
-    raised (e.g. capacities summed below the total system load).
+    raised (e.g. capacities summed below the total system load). The
+    reduction scans candidates in input order (first minimum wins), so the
+    winner never depends on scheduling.
+
+    Parameters
+    ----------
+    family:
+        A :class:`~repro.placement.fractional.FractionalFamily` whose
+        per-candidate programs are reused (and warm-started) across
+        searches. Used on the serial path only — see below.
+    runner:
+        A :class:`~repro.runtime.runner.GridRunner`. When it would
+        actually dispatch to worker processes (``jobs>1`` outside a pool
+        worker), candidates are evaluated in parallel as independent cold
+        solves and ``family`` is not consulted: persistent solver state
+        cannot cross process boundaries. Inside a worker — or with
+        ``jobs=1`` — the runner degrades to the serial path and the
+        family, when given, is used.
     """
+    if family is not None and fractional == "loop":
+        raise PlacementError(
+            "a FractionalFamily implies the batched path; "
+            "drop family= or use fractional='batched'"
+        )
     if candidates is None:
         candidate_idx = np.arange(topology.n_nodes)
     else:
@@ -96,40 +198,62 @@ def best_many_to_one_placement(
     else:
         p = np.asarray(strategy, dtype=np.float64)
 
-    best: ManyToOneSearchResult | None = None
+    v0_list = [int(v0) for v0 in candidate_idx]
+    parallel = (
+        runner is not None
+        and getattr(runner, "parallel", False)
+        and len(v0_list) > 1
+    )
+    if parallel:
+        outcomes = runner.map(
+            _many_to_one_candidate,
+            [
+                {
+                    "topology": topology,
+                    "system": system,
+                    "v0": v0,
+                    "capacities": capacities,
+                    "strategy": p,
+                    "eps": eps,
+                    "clients": client_idx,
+                    "fractional": fractional,
+                }
+                for v0 in v0_list
+            ],
+        )
+    else:
+        outcomes = [
+            _many_to_one_candidate(
+                topology, system, v0, capacities, p, eps, client_idx,
+                program=None if family is None else family.program(v0),
+                fractional=fractional,
+            )
+            for v0 in v0_list
+        ]
+
+    best_v0 = -1
+    best_delay = np.inf
+    best_assignment: np.ndarray | None = None
     delays: dict[int, float] = {}
     infeasible = 0
-    for v0 in candidate_idx:
-        try:
-            placement = many_to_one_placement(
-                topology,
-                system,
-                int(v0),
-                capacities=capacities,
-                strategy=p,
-                eps=eps,
-            )
-        except InfeasibleError:
+    for v0, outcome in zip(v0_list, outcomes):
+        if outcome is None:
             infeasible += 1
             continue
-        placed = PlacedQuorumSystem(system, placement, topology)
-        delay = _average_delay_under_global_strategy(placed, p, client_idx)
-        delays[int(v0)] = delay
-        if best is None or delay < best.avg_network_delay:
-            best = ManyToOneSearchResult(
-                placed=placed,
-                v0=int(v0),
-                avg_network_delay=delay,
-                delays_by_candidate={},
-            )
-    if best is None:
+        assignment, delay = outcome
+        delays[v0] = delay
+        if delay < best_delay:
+            best_v0, best_delay, best_assignment = v0, delay, assignment
+    if best_assignment is None:
         raise InfeasibleError(
             f"no feasible many-to-one placement from any of "
             f"{len(candidate_idx)} candidates ({infeasible} infeasible)"
         )
     return ManyToOneSearchResult(
-        placed=best.placed,
-        v0=best.v0,
-        avg_network_delay=best.avg_network_delay,
+        placed=PlacedQuorumSystem(
+            system, Placement(best_assignment), topology
+        ),
+        v0=best_v0,
+        avg_network_delay=best_delay,
         delays_by_candidate=delays,
     )

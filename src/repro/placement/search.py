@@ -89,6 +89,7 @@ def best_placement(
     clients: object = None,
     respect_capacities: bool = True,
     jobs: int = 1,
+    runner: GridRunner | None = None,
 ) -> PlacementSearchResult:
     """Best one-to-one placement over candidate designated clients.
 
@@ -108,6 +109,11 @@ def best_placement(
         independent, so the result is identical for any ``jobs``: the
         reduction scans delays in candidate order, keeping the serial
         tie-break (first candidate with the minimal delay wins).
+    runner:
+        A shared :class:`~repro.runtime.runner.GridRunner` to schedule the
+        candidate loop through (its worker pool is reused; inside one of
+        its workers the loop runs inline). Overrides ``jobs``; without
+        one, a throwaway runner with ``jobs`` workers is used.
     """
     if candidates is None:
         candidate_idx = np.arange(topology.n_nodes)
@@ -124,9 +130,12 @@ def best_placement(
         respect_capacities=respect_capacities,
     )
     v0_list = [int(v0) for v0 in candidate_idx]
-    candidate_delays = GridRunner(jobs=jobs).map(
-        evaluate_one, [{"v0": v0} for v0 in v0_list]
-    )
+    kwargs_list = [{"v0": v0} for v0 in v0_list]
+    if runner is not None:
+        candidate_delays = runner.map(evaluate_one, kwargs_list)
+    else:
+        with GridRunner(jobs=jobs) as own_runner:
+            candidate_delays = own_runner.map(evaluate_one, kwargs_list)
 
     best_v0 = -1
     best_delay = np.inf

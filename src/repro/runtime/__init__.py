@@ -9,8 +9,11 @@ winner. This package provides the machinery every such workload shares:
   data model figure runners use to *declare* their parameter grids instead
   of looping over them imperatively;
 * :mod:`repro.runtime.runner` — :class:`GridRunner`, which executes a grid
-  serially or over a :class:`~concurrent.futures.ProcessPoolExecutor` with
-  results guaranteed identical to serial execution;
+  serially or over a persistent :class:`~concurrent.futures.ProcessPoolExecutor`
+  with results guaranteed identical to serial execution. Runners nest
+  without nesting pools: inside one of its own workers a runner always
+  runs inline, so a whole experiment (outer grid plus inner candidate
+  searches) uses exactly one pool;
 * :mod:`repro.runtime.cache` — :class:`ResultCache`, an on-disk cache keyed
   by a content hash of each point's inputs, so repeated sweeps (benchmarks,
   figure regeneration, CI) skip work that has already been done.

@@ -51,7 +51,12 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: v2: the access-strategy LP moved to the batched build-once/solve-many
 #: backend (warm-started HiGHS when bindings are importable); degenerate
 #: optima can tie-break differently than the old per-level scipy path.
-CACHE_SCHEMA_VERSION = 2
+#:
+#: v3: the fractional-placement LP moved to the same batched backend
+#: (assembled once per candidate, load rows rewritten in place, re-solved
+#: warm); degenerate fractional optima can round to different placements
+#: than the old row-by-row cold path produced.
+CACHE_SCHEMA_VERSION = 3
 
 
 def default_cache_dir() -> Path:
@@ -110,7 +115,15 @@ def content_key(**components: Any) -> str:
     """SHA-256 digest of the canonical encoding of keyword components.
 
     :data:`CACHE_SCHEMA_VERSION` is folded in, so bumping it invalidates
-    every previously cached result at once.
+    every previously cached result at once. Keys depend on content and
+    types, not on spelling order:
+
+    >>> content_key(alpha=7.0, seed=1) == content_key(seed=1, alpha=7.0)
+    True
+    >>> content_key(x=1) == content_key(x=1.0)  # int and float differ
+    False
+    >>> len(content_key(x=1))
+    64
     """
     hasher = hashlib.sha256()
     _feed(hasher, CACHE_SCHEMA_VERSION)

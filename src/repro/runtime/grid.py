@@ -36,6 +36,10 @@ class GridPoint:
         Content components identifying the result (see
         :func:`repro.runtime.cache.content_key`); ``None`` marks the point
         uncacheable.
+
+    >>> point = GridPoint(tag="p0", fn=pow, kwargs={"base": 2, "exp": 5})
+    >>> point()
+    32
     """
 
     tag: Hashable

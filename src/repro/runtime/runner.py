@@ -1,13 +1,24 @@
-"""Grid execution: serial, parallel, and cached.
+"""Grid execution: serial, parallel, cached — and safely nestable.
 
 :class:`GridRunner` evaluates the points of a grid and returns
 ``{tag: result}``. With ``jobs=1`` (the default) points run in a plain
-loop in submission order; with ``jobs>1`` they fan out over a
-:class:`~concurrent.futures.ProcessPoolExecutor`. Because points are
+loop in submission order; with ``jobs>1`` they fan out over a persistent
+:class:`~concurrent.futures.ProcessPoolExecutor` that is created lazily on
+the first parallel batch and reused by every subsequent :meth:`GridRunner.run`
+/ :meth:`GridRunner.map` call — one runner, one pool. Because points are
 independent and results are keyed by tag, parallel execution is
 guaranteed to produce results identical to serial execution — the
 equivalence the regression tests in ``tests/test_runtime.py`` pin down to
 the bit.
+
+Runners nest without nesting pools: every worker process is marked by a
+pool initializer, and a ``GridRunner`` used *inside* a worker always runs
+its points inline (:func:`in_worker` exposes the flag). That lets outer
+code fan grid points out over processes while inner code — e.g. the
+best-placement candidate searches inside ``fig_8_9``'s iterative points —
+threads its own runner through unconditionally: at the top level it
+parallelizes, inside a worker it degrades to the serial loop, and in
+neither case is a second process pool ever spawned.
 
 When a :class:`~repro.runtime.cache.ResultCache` is attached, points that
 declare a ``cache_key`` are looked up before any work is dispatched and
@@ -17,6 +28,7 @@ stored after they complete, so only cache misses ever reach the pool.
 from __future__ import annotations
 
 import os
+import weakref
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Hashable, Iterable, Sequence
 
@@ -24,11 +36,36 @@ from repro.errors import ReproError
 from repro.runtime.cache import ResultCache, content_key
 from repro.runtime.grid import GridPoint
 
-__all__ = ["GridRunner", "resolve_jobs"]
+__all__ = ["GridRunner", "in_worker", "resolve_jobs"]
+
+#: True in processes spawned by a GridRunner pool (set by the initializer).
+_IN_WORKER = False
+
+
+def _mark_worker() -> None:
+    """Pool initializer: brands the process as a GridRunner worker."""
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def in_worker() -> bool:
+    """Whether this process is a :class:`GridRunner` pool worker.
+
+    Inside a worker every runner executes inline, so nested runners can be
+    threaded through library code unconditionally without ever spawning a
+    second process pool.
+    """
+    return _IN_WORKER
 
 
 def resolve_jobs(jobs: int | None) -> int:
-    """Normalize a ``--jobs`` value: ``None``/``0`` mean all cores."""
+    """Normalize a ``--jobs`` value: ``None``/``0`` mean all cores.
+
+    >>> resolve_jobs(4)
+    4
+    >>> resolve_jobs(None) >= 1
+    True
+    """
     if jobs is None or jobs == 0:
         return os.cpu_count() or 1
     if jobs < 0:
@@ -41,14 +78,37 @@ def _invoke(fn: Callable[..., Any], kwargs: dict) -> Any:
     return fn(**kwargs)
 
 
+def _shutdown_pools(holder: list) -> None:
+    """Finalizer target: shuts down any executor left in ``holder``."""
+    while holder:
+        holder.pop().shutdown(wait=False, cancel_futures=True)
+
+
 class GridRunner:
-    """Evaluates grid points, optionally in parallel and through a cache."""
+    """Evaluates grid points, optionally in parallel and through a cache.
+
+    The runner is the unit of parallelism: its process pool is created on
+    the first parallel batch and shared by every later call, so threading
+    one runner through a whole experiment (outer grid points *and* inner
+    candidate searches) uses exactly one pool. Use as a context manager —
+    or call :meth:`close` — to release the pool deterministically; an
+    unclosed runner's pool is torn down when the runner is garbage
+    collected.
+
+    >>> with GridRunner() as runner:
+    ...     runner.map(pow, [{"base": 2, "exp": 3}, {"base": 3, "exp": 2}])
+    [8, 9]
+    """
 
     def __init__(
         self, jobs: int | None = 1, cache: ResultCache | None = None
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
+        self._pool_holder: list[ProcessPoolExecutor] = []
+        self._finalizer = weakref.finalize(
+            self, _shutdown_pools, self._pool_holder
+        )
 
     def run(self, points: Sequence[GridPoint]) -> dict[Hashable, Any]:
         """Evaluate every point; returns results keyed by point tag."""
@@ -91,16 +151,47 @@ class GridRunner:
         results = self.run(points)
         return [results[i] for i in range(len(points))]
 
+    @property
+    def parallel(self) -> bool:
+        """Whether this runner would dispatch a batch to worker processes.
+
+        False inside a pool worker even for ``jobs>1`` — that is the
+        nesting guard that keeps a whole experiment on one pool.
+        """
+        return self.jobs > 1 and not _IN_WORKER
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if not self._pool_holder:
+            self._pool_holder.append(
+                ProcessPoolExecutor(
+                    max_workers=self.jobs, initializer=_mark_worker
+                )
+            )
+        return self._pool_holder[0]
+
     def _evaluate(self, points: list[GridPoint]) -> list[Any]:
-        if self.jobs <= 1 or len(points) <= 1:
+        # A parallel runner dispatches even a single point to the pool:
+        # running it inline in the main process would let runners nested
+        # inside the point's fn go parallel (the process is not branded as
+        # a worker), silently changing which code path computed a result
+        # that is cached under a scheduling-independent key.
+        if not self.parallel or not points:
             return [point() for point in points]
-        workers = min(self.jobs, len(points))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_invoke, point.fn, point.kwargs)
-                for point in points
-            ]
-            return [future.result() for future in futures]
+        pool = self._pool()
+        futures = [
+            pool.submit(_invoke, point.fn, point.kwargs) for point in points
+        ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        """Shut down the worker pool (if one was ever created)."""
+        _shutdown_pools(self._pool_holder)
+
+    def __enter__(self) -> "GridRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         return f"GridRunner(jobs={self.jobs}, cache={self.cache!r})"

@@ -21,7 +21,10 @@ constraint system exactly once (fully vectorized — one numpy broadcast per
 constraint group instead of tens of thousands of per-row appends) and then
 solves any number of capacity vectors against the shared structure through
 :class:`~repro.lp.batched.BatchedProgram`, which warm-starts HiGHS across
-variants when its bindings are importable.
+variants when its bindings are importable. The fractional-placement LP
+(:mod:`repro.placement.fractional`) follows the same pattern with one
+extra degree of freedom: its element-load *coefficients* drift too, which
+the backend covers with in-place row updates.
 """
 
 from __future__ import annotations

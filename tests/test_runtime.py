@@ -25,7 +25,7 @@ from repro.runtime.cache import (
     topology_fingerprint,
 )
 from repro.runtime.grid import GridPoint, GridSpec
-from repro.runtime.runner import GridRunner, resolve_jobs
+from repro.runtime.runner import GridRunner, in_worker, resolve_jobs
 
 
 def _square(x):
@@ -34,6 +34,16 @@ def _square(x):
 
 def _fail():
     raise RuntimeError("worker exploded")
+
+
+def _worker_state():
+    """(am I in a pool worker?, would a nested jobs=4 runner go parallel?)"""
+    return in_worker(), GridRunner(jobs=4).parallel
+
+
+def _nested_map(x):
+    """A task that itself runs a runner — must degrade to inline."""
+    return GridRunner(jobs=4).map(_square, [{"x": x}, {"x": x + 1}])
 
 
 @pytest.fixture(scope="module")
@@ -256,6 +266,92 @@ class TestGridRunner:
         assert resolve_jobs(0) >= 1
         with pytest.raises(ReproError):
             resolve_jobs(-2)
+
+
+@pytest.fixture()
+def counting_pool(monkeypatch):
+    """Patches the runner's executor class; returns the instances list."""
+    import repro.runtime.runner as runner_module
+
+    created = []
+    real_pool = runner_module.ProcessPoolExecutor
+
+    class CountingPool(real_pool):
+        def __init__(self, *args, **kwargs):
+            created.append(self)
+            super().__init__(*args, **kwargs)
+
+    monkeypatch.setattr(runner_module, "ProcessPoolExecutor", CountingPool)
+    return created
+
+
+class TestNestingGuard:
+    """Runners nest; process pools must not.
+
+    Pool workers are branded by an initializer, and any GridRunner used
+    inside one runs its batches inline — so library code can thread a
+    runner through unconditionally and a whole experiment stays on one
+    pool.
+    """
+
+    def test_main_process_is_not_a_worker(self):
+        assert not in_worker()
+        assert GridRunner(jobs=2).parallel
+        assert not GridRunner(jobs=1).parallel
+
+    def test_workers_are_marked_and_degrade_to_inline(self):
+        with GridRunner(jobs=2) as runner:
+            states = runner.map(_worker_state, [{} for _ in range(3)])
+        assert states == [(True, False)] * 3
+
+    def test_nested_runner_inside_worker_produces_results(self):
+        with GridRunner(jobs=2) as runner:
+            out = runner.map(_nested_map, [{"x": i} for i in range(4)])
+        assert out == [[i * i, (i + 1) * (i + 1)] for i in range(4)]
+
+    def test_single_pending_point_still_dispatches_to_pool(self):
+        """A lone point (e.g. the only cache miss of a grid) must not run
+        inline in the main process: there, nested runners would go
+        parallel and compute through a different code path than jobs=1,
+        under a cache key that deliberately ignores scheduling."""
+        with GridRunner(jobs=2) as runner:
+            states = runner.map(_worker_state, [{}])
+        assert states == [(True, False)]
+
+    def test_pool_reused_across_batches(self, counting_pool):
+        with GridRunner(jobs=2) as runner:
+            first = runner.map(_square, [{"x": i} for i in range(4)])
+            second = runner.map(_square, [{"x": i} for i in range(4, 8)])
+        assert first == [i * i for i in range(4)]
+        assert second == [i * i for i in range(4, 8)]
+        assert len(counting_pool) == 1
+
+    def test_close_is_idempotent_and_serial_runner_poolless(
+        self, counting_pool
+    ):
+        runner = GridRunner()  # jobs=1 never touches a pool
+        assert runner.map(_square, [{"x": 3}]) == [9]
+        runner.close()
+        runner.close()
+        assert counting_pool == []
+
+    def test_fig_8_9_single_pool_and_bit_identical(
+        self, planetlab, counting_pool
+    ):
+        """ISSUE acceptance: fig_8_9 --jobs N uses exactly one process
+        pool (the inner best-placement searches run inline in its
+        workers) and is bit-identical to jobs=1."""
+        from repro.experiments import fig_8_9
+
+        serial = fig_8_9.run(planetlab, fast=True, capacity_steps=2)
+        assert counting_pool == []  # jobs=1 end to end: poolless
+
+        with GridRunner(jobs=2) as runner:
+            parallel = fig_8_9.run(
+                planetlab, fast=True, capacity_steps=2, runner=runner
+            )
+        assert len(counting_pool) == 1
+        assert serial == parallel  # frozen dataclasses: full deep equality
 
 
 class TestParallelEquivalence:
