@@ -15,12 +15,13 @@ the levels), then replayed through both paths:
   rewrite the element-load rows / objective in place and re-solve —
   warm-started when HiGHS bindings import.
 
-Every replayed solve is asserted objective-equivalent within 1e-9, and
-each program's *first* solve (a cold solve on both paths) must pick the
-identical fractional vertex. Warm re-solves may land on a different
-vertex of a *tied* optimum (that is why ``CACHE_SCHEMA_VERSION`` was
-bumped when the batched path became the default); the bench records the
-vertex agreement rate rather than asserting it.
+Every replayed solve is asserted objective-equivalent within 1e-9.
+Batched solves are canonical (anchored — each re-solve restarts from the
+program's calibration basis, a pure function of the request), so they may
+land on a different vertex of a *tied* optimum than the cold row-by-row
+path — deterministically so (that is why ``CACHE_SCHEMA_VERSION`` was
+bumped, twice now); the bench records the vertex agreement rate rather
+than asserting it.
 
 The run writes a machine-readable record to
 ``benchmarks/results/bench_fractional_lp.json``, extending the JSON perf
@@ -36,13 +37,10 @@ import time
 import numpy as np
 import pytest
 
-from repro.core.iterative import iterative_optimize
+from _iterative_schedule import replay_family, solve_schedule
 from repro.lp import lp_backend_name
 from repro.network.datasets import planetlab_50
-from repro.placement.fractional import (
-    FractionalFamily,
-    fractional_placement_loop,
-)
+from repro.placement.fractional import fractional_placement_loop
 from repro.quorums.grid import GridQuorumSystem
 from repro.quorums.load_analysis import optimal_load
 from repro.strategies.capacity_sweep import capacity_levels
@@ -51,35 +49,6 @@ GRID_K = 5
 N_LEVELS = 5
 N_CANDIDATES = 8
 MAX_ITERATIONS = 3
-
-
-def _solve_schedule(topology, system, candidates, levels):
-    """(capacities, strategy) per iteration of real iterative runs.
-
-    Runs ``iterative_optimize`` once per capacity level and reconstructs
-    the global strategy each iteration's placement phase solved under:
-    uniform for iteration 1, the average of the previous iteration's
-    per-client strategies afterwards.
-    """
-    schedule = []
-    total_iterations = 0
-    m = system.num_quorums
-    for level in levels:
-        result = iterative_optimize(
-            topology,
-            system,
-            capacities=float(level),
-            alpha=0.0,
-            candidates=candidates,
-            max_iterations=MAX_ITERATIONS,
-        )
-        total_iterations += result.iterations_run
-        caps = np.full(topology.n_nodes, float(level))
-        strategy = np.full(m, 1.0 / m)
-        for record in result.history:
-            schedule.append((caps, strategy))
-            strategy = record.strategy.matrix.mean(axis=0)
-    return schedule, total_iterations
 
 
 def _replay_cold(topology, system, candidates, schedule):
@@ -95,17 +64,6 @@ def _replay_cold(topology, system, candidates, schedule):
     return solutions
 
 
-def _replay_batched(topology, system, candidates, schedule):
-    family = FractionalFamily(topology, system)
-    solutions = []
-    for caps, strategy in schedule:
-        for v0 in candidates:
-            solutions.append(
-                family.solve(int(v0), capacities=caps, strategy=strategy)
-            )
-    return solutions
-
-
 def test_batched_fractional_lp_speedup(results_dir):
     topology = planetlab_50()
     system = GridQuorumSystem(GRID_K)
@@ -114,8 +72,8 @@ def test_batched_fractional_lp_speedup(results_dir):
 
     # Drives real iterative runs (also warms all lazily-cached substrate:
     # distance rows, delay matrices, incidence counts).
-    schedule, total_iterations = _solve_schedule(
-        topology, system, candidates, levels
+    schedule, total_iterations = solve_schedule(
+        topology, system, candidates, levels, MAX_ITERATIONS
     )
     assert total_iterations >= 5  # ISSUE acceptance floor
 
@@ -124,23 +82,22 @@ def test_batched_fractional_lp_speedup(results_dir):
     cold_s = time.perf_counter() - started
 
     started = time.perf_counter()
-    batched = _replay_batched(topology, system, candidates, schedule)
+    batched = replay_family(topology, system, candidates, schedule)
     batched_s = time.perf_counter() - started
     speedup = cold_s / batched_s
 
     backend = lp_backend_name()
 
     # Equivalence: every solve of the family matches the cold loop path
-    # within 1e-9 on the objective; the first solve of each candidate is
-    # cold on both paths and must pick the identical vertex.
+    # within 1e-9 on the objective. Vertex identity is not asserted:
+    # anchored re-solves canonically tie-break degenerate optima, which
+    # need not coincide with the cold path's choice — the agreement rate
+    # is recorded instead.
     max_gap = max(
         abs(a.objective - b.objective) for a, b in zip(cold, batched)
     )
     assert max_gap <= 1e-9
     n_solves = len(cold)
-    first_block = len(candidates)  # schedule[0] is each program's build
-    for a, b in zip(cold[:first_block], batched[:first_block]):
-        assert np.array_equal(a.x, b.x)
     vertex_agree = sum(
         np.allclose(a.x, b.x, atol=1e-9) for a, b in zip(cold, batched)
     )

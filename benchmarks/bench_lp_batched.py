@@ -10,6 +10,11 @@ The run both asserts the speedup and the batched/per-level equivalence
 (same best capacity, objectives within 1e-9) and emits a machine-readable
 record to ``benchmarks/results/bench_lp_batched.json`` — the start of the
 JSON perf trajectory the roadmap tracks.
+
+It also measures basis-aware level ordering (the ``order=`` knob): the
+same sweep handed over in a scrambled level order, solved as given vs
+re-sorted into monotone RHS order. The ratio is recorded in the JSON so
+the trajectory shows what sorting buys on top of the warm-start win.
 """
 
 from __future__ import annotations
@@ -102,6 +107,25 @@ def test_batched_lp_sweep_speedup(results_dir):
     ).best.capacity
     assert batched_best == per_level_best
 
+    # Basis-aware ordering: the same levels handed over scrambled, swept
+    # as given vs re-sorted into monotone RHS order (results always
+    # un-permute back to the input order).
+    rng = np.random.default_rng(7)
+    scrambled = [float(c) for c in levels[rng.permutation(N_LEVELS)]]
+    order_program = StrategyProgram(placed)
+    order_program.solve_many(scrambled)  # warm the assembled program
+    given_s, from_given = _timed(
+        lambda: order_program.solve_many(scrambled, order="given")
+    )
+    sorted_s, from_sorted = _timed(
+        lambda: order_program.solve_many(scrambled, order="sorted")
+    )
+    max_order_gap = max(
+        abs(_objective(placed, a) - _objective(placed, b))
+        for a, b in zip(from_given, from_sorted)
+    )
+    assert max_order_gap <= 1e-9
+
     record = {
         "benchmark": "lp_batched_sweep",
         "topology": "planetlab-50",
@@ -117,6 +141,10 @@ def test_batched_lp_sweep_speedup(results_dir):
         "best_capacity_matches_per_level": bool(
             batched_best == per_level_best
         ),
+        "order_given_seconds": given_s,
+        "order_sorted_seconds": sorted_s,
+        "sorted_order_gain": given_s / sorted_s,
+        "max_order_gap": max_order_gap,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -132,6 +160,9 @@ def test_batched_lp_sweep_speedup(results_dir):
     print(f"   batched sweep:    {batched_s * 1000:8.1f} ms")
     print(f"   speedup:          {speedup:8.2f}x")
     print(f"   max obj gap:      {max_objective_gap:.2e}")
+    print(f"   scrambled given:  {given_s * 1000:8.1f} ms")
+    print(f"   scrambled sorted: {sorted_s * 1000:8.1f} ms")
+    print(f"   sorted gain:      {given_s / sorted_s:8.2f}x")
 
     if backend == "scipy":
         # Without HiGHS bindings only assembly (not the cold solve) is

@@ -23,9 +23,11 @@ iteration: each candidate client's fractional LP is assembled exactly once
 and later iterations only rewrite its element-load rows and re-solve —
 warm-started when HiGHS bindings import. A shared
 :class:`~repro.runtime.runner.GridRunner` can be passed to fan the
-candidate searches out instead; inside one of its own workers (e.g. a
-``fig_8_9`` grid point) it degrades to the serial in-process loop, so
-process pools never nest.
+candidate searches out instead; its workers keep their own families in
+the worker-local program cache (same warm behavior, bit-identical results
+thanks to canonical anchored solves), and inside one of its own workers
+(e.g. a ``fig_8_9`` grid point) it degrades to the serial in-process
+loop, so process pools never nest.
 """
 
 from __future__ import annotations
@@ -42,7 +44,11 @@ from repro.network.graph import Topology
 from repro.placement.fractional import FractionalFamily
 from repro.placement.many_to_one import best_many_to_one_placement
 from repro.quorums.base import QuorumSystem
-from repro.strategies.lp_optimizer import StrategyProgram
+from repro.runtime.runner import in_worker
+from repro.strategies.lp_optimizer import (
+    StrategyProgram,
+    shared_strategy_program,
+)
 
 __all__ = ["IterationRecord", "IterativeResult", "iterative_optimize"]
 
@@ -110,9 +116,13 @@ def iterative_optimize(
     runner:
         A shared :class:`~repro.runtime.runner.GridRunner`; when it would
         dispatch to worker processes, each iteration's candidate searches
-        fan out over its pool as independent cold solves (solver state
-        cannot cross processes). Inside one of its workers, or serial, it
-        is a no-op and the batched family below is used instead.
+        fan out over its pool, and every worker keeps its own assembled
+        fractional family in the worker-local program cache — later
+        iterations re-solve warm instead of rebuilding cold per task.
+        Canonical (anchored) LP solves keep the outcome bit-identical to
+        the serial family path for any worker count. Inside one of its
+        workers, or serial, the runner is a no-op and the batched family
+        below is used instead.
     family:
         A :class:`~repro.placement.fractional.FractionalFamily` to reuse
         across *calls* (e.g. a capacity sweep over one
@@ -135,8 +145,24 @@ def iterative_optimize(
                 "a FractionalFamily implies the batched path; "
                 "drop family= or use fractional='batched'"
             )
-    elif family is None:
-        family = FractionalFamily(topology, system)
+    elif family is None and not in_worker():
+        # Build the cross-iteration family only where it will actually be
+        # consulted: the serial path. Inside a pool worker the search
+        # pulls the worker-local cached family instead, and when the
+        # runner would really fan candidates out (parallel, and more than
+        # one candidate) the workers keep their own — assembling one here
+        # would be dead work in the parent process.
+        n_candidates = (
+            topology.n_nodes
+            if candidates is None
+            else np.atleast_1d(np.asarray(candidates)).size
+        )
+        if (
+            runner is None
+            or not getattr(runner, "parallel", False)
+            or n_candidates <= 1
+        ):
+            family = FractionalFamily(topology, system)
     cap0 = np.asarray(capacities, dtype=np.float64)
     if cap0.ndim == 0:
         cap0 = np.full(topology.n_nodes, float(cap0))
@@ -144,14 +170,16 @@ def iterative_optimize(
     # The strategy LP's constraint system depends only on the placement
     # (capacities are RHS), and successive iterations frequently land on
     # the same placement — reuse the assembled (and warm-started) program
-    # instead of rebuilding it every iteration.
+    # instead of rebuilding it every iteration. Inside a pool worker the
+    # program additionally comes from the worker-local cache, shared with
+    # every other grid point in this worker that lands on the placement.
     programs: dict[bytes, StrategyProgram] = {}
 
     def _program_for(placed_j: PlacedQuorumSystem) -> StrategyProgram:
         key = placed_j.placement.assignment.tobytes()
         program = programs.get(key)
         if program is None:
-            program = StrategyProgram(placed_j, coalesce=coalesce)
+            program = shared_strategy_program(placed_j, coalesce=coalesce)
             programs[key] = program
         return program
 

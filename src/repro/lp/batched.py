@@ -13,8 +13,8 @@ Two solver paths sit behind one interface:
   standalone ``highspy`` package, or the copy scipy vendors as
   ``scipy.optimize._highspy``), the model is passed to a persistent
   ``Highs`` instance once; each variant only changes the affected row
-  bounds and re-runs the solver, which re-optimizes from the previous
-  basis (dual simplex) instead of solving cold. This is where the batched
+  bounds and re-runs the solver, which re-optimizes from a warm basis
+  (dual simplex) instead of solving cold. This is where the batched
   sweep's order-of-magnitude win comes from.
 * **scipy fallback** — otherwise each variant is one
   ``scipy.optimize.linprog`` call reusing the prebuilt CSR matrices, so
@@ -24,14 +24,43 @@ Families whose *coefficients* drift — not just their RHS — are covered by
 the in-place update hooks: :meth:`BatchedProgram.update_objective` and
 :meth:`BatchedProgram.update_le_rows` rewrite objective entries or whole
 inequality rows against the fixed sparsity structure, keeping the scipy
-arrays and the persistent HiGHS model in sync, so the next solve still
-re-optimizes from the previous basis. The fractional-placement LP uses
-this: its element-load rows change as the iterative algorithm's strategy
-evolves, while everything else in the constraint system stays put.
+arrays and the persistent HiGHS model in sync. The fractional-placement
+LP uses this: its element-load rows change as the iterative algorithm's
+strategy evolves, while everything else in the constraint system stays
+put.
+
+Canonical (trajectory-independent) solves
+-----------------------------------------
+A chained warm start — re-optimizing from wherever the previous solve
+left the basis — makes the *answer* on degenerate LPs depend on the whole
+solve history: two programs asked the same question after different
+request sequences can return different (equally optimal) vertices. That
+is fatal for result caching and for ``jobs=N``/``jobs=1`` bit-identity
+once worker processes keep programs warm across the candidates they
+happen to be handed. The backend therefore pins every solve to a
+deterministic **anchor basis**: before the first single solve or in-place
+update, one calibration solve of the program exactly as built is run and
+its final basis captured; every later single solve restarts the solver
+from that anchor. Each solve's result is then a pure function of (built
+program, request) — tied optima always break the same way, no matter
+which process solved what before. A :meth:`BatchedProgram.solve_many`
+batch instead starts cold and chains warm starts *within* itself: the
+variant list (and ``order``) is one request, so batches are equally
+deterministic without paying for a calibration. The anchor costs one
+extra solve per program and keeps most of the warm win: re-solves start
+from an optimal basis of a sibling LP instead of from scratch.
+
+:meth:`BatchedProgram.solve_many` additionally takes
+``order="given"|"sorted"``: ``"sorted"`` sweeps the RHS variants in
+lexicographically ascending order (monotone for capacity sweeps, so each
+warm step is a small dual-simplex perturbation) and un-permutes the
+results, making the returned list independent of the caller's level
+order.
 
 The probe is transparent: callers never see which path ran unless they ask
 (:attr:`BatchedProgram.backend`). Set ``REPRO_LP_BACKEND=scipy`` to force
-the fallback (the equivalence tests use this to compare both paths).
+the fallback (the equivalence tests use this to compare both paths); the
+scipy path is stateless per solve, hence trivially canonical.
 """
 
 from __future__ import annotations
@@ -95,6 +124,8 @@ class _HighsBackend:
         self._hs = bindings
         self._inf = float(bindings.kHighsInf)
         self._n_le = n_le
+        self._anchor = None  # calibration basis; see capture_anchor()
+        self.stateful = True  # solves reuse solver state: needs the anchor
 
         blocks = [m for m in (arrays["A_ub"], arrays["A_eq"]) if m is not None]
         n_vars = arrays["c"].size
@@ -133,6 +164,37 @@ class _HighsBackend:
         if status == bindings.HighsStatus.kError:
             raise SolverError(f"HiGHS rejected the model: {status}")
         self._solver = solver
+
+    def _copy_basis(self, basis):
+        # getBasis() hands back a view of solver-internal state; snapshot
+        # the status vectors so the anchor survives later solves.
+        copy = self._hs.HighsBasis()
+        copy.col_status = list(basis.col_status)
+        copy.row_status = list(basis.row_status)
+        copy.valid = basis.valid
+        copy.alien = basis.alien
+        return copy
+
+    def capture_anchor(self) -> None:
+        """Snapshot the current basis as the canonical restart point."""
+        basis = self._solver.getBasis()
+        self._anchor = self._copy_basis(basis) if basis.valid else None
+
+    def restart(self) -> None:
+        """Reset the solver onto the anchor basis (cold if none captured).
+
+        Either way the solver state right before the next solve is a pure
+        function of the built model, never of earlier requests.
+        """
+        if self._anchor is not None:
+            status = self._solver.setBasis(self._copy_basis(self._anchor))
+            if status != self._hs.HighsStatus.kError:
+                return
+        self._solver.clearSolver()
+
+    def cold_restart(self) -> None:
+        """Discard all solver state: the next solve runs from scratch."""
+        self._solver.clearSolver()
 
     def update_objective(self, variables: np.ndarray, values: np.ndarray) -> None:
         for var, value in zip(variables, values):
@@ -173,6 +235,16 @@ class _ScipyBackend:
 
     def __init__(self, arrays: dict) -> None:
         self._arrays = arrays
+        self.stateful = False  # fresh linprog call per variant: no anchor
+
+    def capture_anchor(self) -> None:
+        pass  # stateless: every solve is already trajectory-independent
+
+    def restart(self) -> None:
+        pass  # ditto
+
+    def cold_restart(self) -> None:
+        pass  # ditto
 
     def update_objective(self, variables, values) -> None:
         pass  # BatchedProgram already rewrote the shared arrays in place
@@ -227,6 +299,15 @@ class BatchedProgram:
     :class:`~repro.errors.SolverError` — those are programming errors, not
     data.
 
+    Solves are *canonical*: the first solve (or in-place update) runs one
+    calibration solve of the program exactly as built and captures its
+    final basis as the anchor; every request then restarts the solver from
+    that anchor. The solution returned for a given (updates, RHS) request
+    is therefore a pure function of the built program and the request —
+    degenerate ties always break the same way regardless of what was
+    solved before, which is what keeps worker-warm parallel searches
+    bit-identical to serial ones.
+
     Parameters
     ----------
     program:
@@ -270,6 +351,7 @@ class BatchedProgram:
         else:
             self.backend = "scipy"
             self._impl = _ScipyBackend(self._arrays)
+        self._anchored = False
 
     @property
     def n_le_constraints(self) -> int:
@@ -285,6 +367,36 @@ class BatchedProgram:
         """
         return self._arrays
 
+    def _ensure_anchor(self) -> None:
+        """Calibrate once: solve the program exactly as built and keep the
+        final basis as the anchor every later solve restarts from.
+
+        Runs before the first solve *and* before the first in-place
+        update, so the calibration state — and with it the anchor — is
+        always the pristine built program, never some
+        request-sequence-dependent intermediate. An infeasible (or
+        otherwise failed) calibration simply leaves no anchor; solves then
+        restart cold, which is equally deterministic.
+        """
+        if self._anchored:
+            return
+        self._anchored = True
+        if not self._impl.stateful:
+            return  # stateless backend: nothing to calibrate
+        # An earlier solve_many batch may have left its final basis in the
+        # solver; calibrate from a cold state or the anchor would inherit
+        # that history and the canonical guarantee would be a lie.
+        self._impl.cold_restart()
+        try:
+            self._impl.solve(
+                np.asarray(self._arrays["b_ub"], dtype=np.float64)
+                if self._n_le
+                else None
+            )
+        except SolverError:
+            pass  # no anchor; restart() degrades to deterministic cold
+        self._impl.capture_anchor()
+
     def update_objective(
         self,
         variables: np.ndarray | Sequence[int],
@@ -295,9 +407,10 @@ class BatchedProgram:
         Unlike :meth:`~repro.lp.problem.LinearProgram.set_objective`, this
         *replaces* (does not accumulate) — it is the re-parameterization
         hook for solved-in-place program families. The persistent HiGHS
-        model, when active, is updated in the same call, so the next solve
-        warm-starts against the new objective.
+        model, when active, is updated in the same call; the next solve
+        restarts from the anchor basis against the new objective.
         """
+        self._ensure_anchor()
         variables = np.asarray(variables, dtype=np.intp)
         coefficients = np.asarray(coefficients, dtype=np.float64)
         if variables.shape != coefficients.shape:
@@ -332,6 +445,7 @@ class BatchedProgram:
         matrix = self._arrays["A_ub"]
         if matrix is None:
             raise SolverError("program has no inequality rows to update")
+        self._ensure_anchor()
         rows = np.asarray(rows, dtype=np.intp)
         values = np.asarray(values, dtype=np.float64)
         if values.ndim != 2 or values.shape[0] != rows.size:
@@ -373,13 +487,44 @@ class BatchedProgram:
         return rhs
 
     def solve_many(
-        self, b_ub_variants: Iterable[Sequence[float] | np.ndarray]
+        self,
+        b_ub_variants: Iterable[Sequence[float] | np.ndarray],
+        order: str = "given",
     ) -> list[LPSolution | None]:
-        """Solve every RHS variant against the shared structure."""
-        return [
-            self._impl.solve(self._check_rhs(variant))
-            for variant in b_ub_variants
-        ]
+        """Solve every RHS variant against the shared structure.
+
+        The batch starts from a cold solver state and chains warm starts
+        *within* itself — deterministic, because the whole variant list
+        (and ``order``) is one request and nothing from earlier requests
+        leaks in. (Unlike single solves, batches skip the anchor: the
+        first variant's cold solve plays the calibration role and every
+        later variant chains off it, so a sweep costs no extra solve.)
+
+        Parameters
+        ----------
+        order:
+            ``"given"`` solves variants in input order. ``"sorted"``
+            solves them in lexicographically ascending RHS order — the
+            basis-aware schedule: a monotone capacity sweep makes every
+            warm step a small dual-simplex perturbation — and un-permutes,
+            so the returned list always lines up with the input *and* no
+            longer depends on the caller's level order.
+        """
+        if order not in ("given", "sorted"):
+            raise SolverError(
+                f"unknown solve order {order!r}; choose 'given' or 'sorted'"
+            )
+        variants = [self._check_rhs(v) for v in b_ub_variants]
+        self._impl.cold_restart()
+        if order == "sorted" and self._n_le and len(variants) > 1:
+            stacked = np.stack(variants)
+            # lexsort's last key is primary: reverse so coordinate 0 leads
+            permutation = np.lexsort(stacked.T[::-1])
+            results: list[LPSolution | None] = [None] * len(variants)
+            for index in permutation:
+                results[index] = self._impl.solve(variants[index])
+            return results
+        return [self._impl.solve(variant) for variant in variants]
 
     def solve(
         self, b_ub: Sequence[float] | np.ndarray | None = None
@@ -390,7 +535,10 @@ class BatchedProgram:
         """
         if b_ub is None and self._n_le:
             b_ub = self._arrays["b_ub"]
-        solution = self._impl.solve(self._check_rhs(b_ub))
+        rhs = self._check_rhs(b_ub)
+        self._ensure_anchor()
+        self._impl.restart()
+        solution = self._impl.solve(rhs)
         if solution is None:
             raise InfeasibleError("linear program is infeasible")
         return solution

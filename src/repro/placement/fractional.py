@@ -36,9 +36,12 @@ right-hand side move. The batched entry points exploit exactly that split:
   a :class:`~repro.lp.batched.BatchedProgram`. Re-solving with a new
   strategy rewrites the element-load rows and objective in place
   (:meth:`~repro.lp.batched.BatchedProgram.update_le_rows`), so HiGHS
-  re-optimizes from the previous basis instead of solving cold;
-  :meth:`FractionalProgram.solve_many` sweeps capacity vectors as pure RHS
-  variants, returning ``None`` for infeasible ones.
+  re-optimizes from the program's anchor basis instead of solving cold —
+  canonical solves whose answers are pure functions of the request, never
+  of the solve history (the determinism the worker-warm parallel search
+  relies on); :meth:`FractionalProgram.solve_many` sweeps capacity
+  vectors as pure RHS variants in ascending order (un-permuted),
+  returning ``None`` for infeasible ones.
 * :func:`fractional_placement` — the one-shot wrapper (builds a program,
   solves once). :func:`fractional_placement_loop` keeps the original
   row-by-row assembly and cold solve as the reference implementation; the
@@ -367,6 +370,7 @@ class FractionalProgram:
         self,
         capacity_variants,
         strategy: np.ndarray | None = None,
+        order: str = "sorted",
     ) -> list[FractionalPlacement | None]:
         """Solve a family of capacity vectors against the shared structure.
 
@@ -374,10 +378,15 @@ class FractionalProgram:
         ``None`` where that variant's capacities are infeasible — recorded,
         never silently dropped, matching the sweep convention of
         :meth:`~repro.lp.batched.BatchedProgram.solve_many`.
+
+        ``order="sorted"`` (the default) sweeps the capacity vectors in
+        ascending RHS order — monotone for uniform sweeps, so each warm
+        step is a small basis perturbation — and un-permutes the results;
+        ``order="given"`` keeps the input order.
         """
         self._set_strategy(strategy)
         solutions = self._batched.solve_many(
-            [self._rhs(caps) for caps in capacity_variants]
+            [self._rhs(caps) for caps in capacity_variants], order=order
         )
         return [
             None if sol is None else self._placement_from(sol)

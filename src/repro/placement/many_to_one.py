@@ -8,15 +8,19 @@ smallest average network delay over all clients
 (:func:`best_many_to_one_placement`).
 
 The search solves one fractional LP per candidate, so it is where the
-batched LP machinery pays off: pass a
-:class:`~repro.placement.fractional.FractionalFamily` to reuse assembled
-(and warm-started) per-candidate programs across repeated searches — the
-Section 4.2 iterative algorithm does exactly that — or pass a parallel
-:class:`~repro.runtime.runner.GridRunner` to fan the candidate evaluations
-out over worker processes. The two are alternatives: solver state cannot
-cross process boundaries, so a parallel runner makes every candidate an
-independent cold evaluation (bit-identical regardless of worker count),
-while the family keeps everything in-process and warm.
+batched LP machinery pays off: the serial path threads a
+:class:`~repro.placement.fractional.FractionalFamily` through every
+candidate (pass one in to reuse it across repeated searches — the
+Section 4.2 iterative algorithm does exactly that), and a parallel
+:class:`~repro.runtime.runner.GridRunner` fans the candidate evaluations
+out over worker processes that keep their *own* families in the
+worker-local program cache (:func:`repro.runtime.runner.worker_memo`).
+Solver state cannot cross process boundaries, but each worker assembles a
+candidate's program once and re-solves it warm for every later iteration
+that hands it the same candidate. Both paths stay bit-identical to each
+other for any worker count because batched-LP solves are canonical
+(anchored): the answer is a pure function of the request, not of the
+solve history — see :mod:`repro.lp.batched`.
 """
 
 from __future__ import annotations
@@ -37,6 +41,10 @@ from repro.placement.fractional import (
 )
 from repro.placement.gap import round_fractional_placement
 from repro.quorums.base import QuorumSystem
+from repro.lp import lp_backend_name
+from repro.runtime.cache import system_fingerprint, topology_fingerprint
+from repro.runtime.grid import GridPoint
+from repro.runtime.runner import in_worker, worker_memo
 
 __all__ = [
     "many_to_one_placement",
@@ -114,6 +122,26 @@ def _average_delay_under_global_strategy(
     return float((delta @ strategy).mean())
 
 
+def _worker_family(
+    topology: Topology, system: QuorumSystem
+) -> FractionalFamily:
+    """The pool worker's cached family for this ``(topology, system)``.
+
+    Keyed by content fingerprints (workers unpickle fresh argument objects
+    per task) plus the LP backend, so a forced-backend run never reuses a
+    family assembled under another solver path.
+    """
+    return worker_memo(
+        (
+            "fractional-family",
+            topology_fingerprint(topology),
+            system_fingerprint(system),
+            lp_backend_name(),
+        ),
+        lambda: FractionalFamily(topology, system),
+    )
+
+
 def _many_to_one_candidate(
     topology: Topology,
     system: QuorumSystem,
@@ -128,11 +156,15 @@ def _many_to_one_candidate(
     """``(assignment, delay)`` for one candidate, or None if infeasible.
 
     Module-level and self-contained so the best-``v0`` search can fan
-    candidates out over a process pool; without ``program`` each call is a
-    pure function of its arguments (fresh program, cold solve), which is
-    what makes the parallel search bit-identical to the serial no-family
-    one.
+    candidates out over a process pool. Inside a pool worker the batched
+    path pulls the candidate's program from the worker-local family cache,
+    so repeated searches (the iterative algorithm's per-iteration fan-out)
+    re-solve assembled programs warm instead of rebuilding them cold per
+    task; canonical (anchored) solves keep the result a pure function of
+    the arguments either way.
     """
+    if program is None and fractional == "batched" and in_worker():
+        program = _worker_family(topology, system).program(v0)
     try:
         placement = many_to_one_placement(
             topology, system, v0, capacities=capacities, strategy=strategy,
@@ -170,15 +202,18 @@ def best_many_to_one_placement(
     family:
         A :class:`~repro.placement.fractional.FractionalFamily` whose
         per-candidate programs are reused (and warm-started) across
-        searches. Used on the serial path only — see below.
+        searches. Consulted on the serial path; on the batched path one is
+        created internally when omitted, so serial searches are always
+        family-warm. The parallel path uses each worker's own cached
+        family instead (``family`` itself cannot cross process
+        boundaries); canonical solves keep both paths bit-identical.
     runner:
         A :class:`~repro.runtime.runner.GridRunner`. When it would
         actually dispatch to worker processes (``jobs>1`` outside a pool
-        worker), candidates are evaluated in parallel as independent cold
-        solves and ``family`` is not consulted: persistent solver state
-        cannot cross process boundaries. Inside a worker — or with
-        ``jobs=1`` — the runner degrades to the serial path and the
-        family, when given, is used.
+        worker), candidates are evaluated in parallel by workers that keep
+        their own assembled families in the worker-local program cache.
+        Inside a worker — or with ``jobs=1`` — the runner degrades to the
+        serial path and the (given or internal) family is used.
     """
     if family is not None and fractional == "loop":
         raise PlacementError(
@@ -205,23 +240,46 @@ def best_many_to_one_placement(
         and len(v0_list) > 1
     )
     if parallel:
-        outcomes = runner.map(
-            _many_to_one_candidate,
+        # Tags carry (position, v0): the position keeps duplicate
+        # candidates legal under the unique-tag rule, the v0 makes a
+        # failed evaluation's ReproError name the actual candidate.
+        results = runner.run(
             [
-                {
-                    "topology": topology,
-                    "system": system,
-                    "v0": v0,
-                    "capacities": capacities,
-                    "strategy": p,
-                    "eps": eps,
-                    "clients": client_idx,
-                    "fractional": fractional,
-                }
-                for v0 in v0_list
-            ],
+                GridPoint(
+                    tag=(i, v0),
+                    fn=_many_to_one_candidate,
+                    kwargs={
+                        "topology": topology,
+                        "system": system,
+                        "v0": v0,
+                        "capacities": capacities,
+                        "strategy": p,
+                        "eps": eps,
+                        "clients": client_idx,
+                        "fractional": fractional,
+                    },
+                )
+                for i, v0 in enumerate(v0_list)
+            ]
         )
+        outcomes = [
+            results[(i, v0)] for i, v0 in enumerate(v0_list)
+        ]
     else:
+        if family is None and fractional == "batched":
+            # The serial path is then family-warm by construction — the
+            # same per-candidate program shape the pool workers keep in
+            # their worker-local caches, so jobs=1 and jobs=N run the
+            # exact same canonical solves. (Built here, not earlier: the
+            # parallel branch never consults it.) Inside a pool worker —
+            # a nested search, e.g. a fig_8_9 grid point — the family
+            # comes from the worker-local cache so sibling grid points
+            # share it instead of re-assembling per call.
+            family = (
+                _worker_family(topology, system)
+                if in_worker()
+                else FractionalFamily(topology, system)
+            )
         outcomes = [
             _many_to_one_candidate(
                 topology, system, v0, capacities, p, eps, client_idx,

@@ -28,6 +28,7 @@ from repro.network.graph import Topology
 from repro.placement.one_to_one import one_to_one_placement
 from repro.quorums.base import QuorumSystem
 from repro.quorums.threshold import ThresholdQuorumSystem
+from repro.runtime.grid import GridPoint
 from repro.runtime.runner import GridRunner
 
 __all__ = ["PlacementSearchResult", "best_placement", "uniform_strategy_for"]
@@ -113,7 +114,12 @@ def best_placement(
         A shared :class:`~repro.runtime.runner.GridRunner` to schedule the
         candidate loop through (its worker pool is reused; inside one of
         its workers the loop runs inline). Overrides ``jobs``; without
-        one, a throwaway runner with ``jobs`` workers is used.
+        one, a throwaway runner with ``jobs`` workers is used. A
+        candidate evaluation that raises (beyond the expected
+        infeasibility, which is handled in-loop) surfaces as a
+        :class:`~repro.errors.ReproError` naming the failed candidate;
+        the batch's still-queued work is cancelled (in-flight points
+        finish but are not returned).
     """
     if candidates is None:
         candidate_idx = np.arange(topology.n_nodes)
@@ -130,12 +136,21 @@ def best_placement(
         respect_capacities=respect_capacities,
     )
     v0_list = [int(v0) for v0 in candidate_idx]
-    kwargs_list = [{"v0": v0} for v0 in v0_list]
+    # Tags carry (position, v0): the position keeps duplicate candidates
+    # legal under the unique-tag rule, the v0 makes a failed evaluation's
+    # ReproError name the actual candidate.
+    points = [
+        GridPoint(tag=(i, v0), fn=evaluate_one, kwargs={"v0": v0})
+        for i, v0 in enumerate(v0_list)
+    ]
     if runner is not None:
-        candidate_delays = runner.map(evaluate_one, kwargs_list)
+        results = runner.run(points)
     else:
         with GridRunner(jobs=jobs) as own_runner:
-            candidate_delays = own_runner.map(evaluate_one, kwargs_list)
+            results = own_runner.run(points)
+    candidate_delays = [
+        results[(i, v0)] for i, v0 in enumerate(v0_list)
+    ]
 
     best_v0 = -1
     best_delay = np.inf

@@ -56,7 +56,13 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: (assembled once per candidate, load rows rewritten in place, re-solved
 #: warm); degenerate fractional optima can round to different placements
 #: than the old row-by-row cold path produced.
-CACHE_SCHEMA_VERSION = 3
+#:
+#: v4: batched-LP solves became canonical — every solve restarts from the
+#: program's calibration (anchor) basis, capacity sweeps run in sorted RHS
+#: order, and the serial many-to-one search went family-warm — so tied
+#: optima now break differently than under v3's chained-warm/cold mix
+#: (and identically across schedules, which is the point).
+CACHE_SCHEMA_VERSION = 4
 
 
 def default_cache_dir() -> Path:
@@ -232,6 +238,15 @@ class ResultCache:
         """Store a value atomically (temp file + rename)."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        # Overwrites replace an existing entry: account for the bytes the
+        # rename releases, or the size estimate creeps upward and triggers
+        # spurious early trims.
+        old_size = 0
+        if self.max_size_bytes is not None:
+            try:
+                old_size = path.stat().st_size
+            except OSError:
+                old_size = 0
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
@@ -246,7 +261,7 @@ class ResultCache:
         self.stores += 1
         if self.max_size_bytes is not None:
             try:
-                self._approx_size += path.stat().st_size
+                self._approx_size += path.stat().st_size - old_size
             except OSError:
                 pass
             if self._approx_size > self.max_size_bytes:
@@ -301,12 +316,19 @@ class ResultCache:
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
         removed = 0
+        leftover = 0
         for path in self.root.glob("*/*.pkl"):
             try:
                 path.unlink()
                 removed += 1
             except OSError:
-                pass
+                try:
+                    leftover += path.stat().st_size
+                except OSError:
+                    pass
+        # Reset the running size estimate — leaving it untouched would
+        # carry the deleted bytes forever and force early trims later.
+        self._approx_size = leftover
         return removed
 
     def __len__(self) -> int:

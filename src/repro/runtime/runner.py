@@ -20,6 +20,17 @@ threads its own runner through unconditionally: at the top level it
 parallelizes, inside a worker it degrades to the serial loop, and in
 neither case is a second process pool ever spawned.
 
+Workers also carry a **worker-local program cache**: the pool initializer
+seeds a per-process registry that library code reaches through
+:func:`worker_memo` to keep expensive assembled state — batched LP
+families, strategy programs — alive across the tasks a worker is handed.
+Solver state cannot cross process boundaries, but it does not have to:
+each worker assembles a program once and re-solves it warm for every
+later candidate with the same fingerprint. Results stay bit-identical to
+serial execution because batched-LP solves are canonical (anchored —
+see :mod:`repro.lp.batched`): a pure function of the request, never of
+which worker solved what before.
+
 When a :class:`~repro.runtime.cache.ResultCache` is attached, points that
 declare a ``cache_key`` are looked up before any work is dispatched and
 stored after they complete, so only cache misses ever reach the pool.
@@ -36,16 +47,29 @@ from repro.errors import ReproError
 from repro.runtime.cache import ResultCache, content_key
 from repro.runtime.grid import GridPoint
 
-__all__ = ["GridRunner", "in_worker", "resolve_jobs"]
+__all__ = ["GridRunner", "in_worker", "resolve_jobs", "worker_memo"]
 
 #: True in processes spawned by a GridRunner pool (set by the initializer).
 _IN_WORKER = False
 
+#: Per-process registry behind :func:`worker_memo`. Only ever populated
+#: inside pool workers; the initializer reseeds it so forked workers never
+#: inherit stale parent entries.
+_WORKER_MEMO: dict[Hashable, Any] = {}
+
+#: Entry cap for the worker registry. Cached values are assembled LP
+#: programs holding persistent solver state, so an unbounded registry
+#: would grow with every distinct placement a long-lived worker ever
+#: sees; past the cap the oldest entry is dropped (rebuilt on next use —
+#: a perf event, never a correctness one).
+_WORKER_MEMO_MAX = 64
+
 
 def _mark_worker() -> None:
-    """Pool initializer: brands the process as a GridRunner worker."""
+    """Pool initializer: brands the process and seeds its program cache."""
     global _IN_WORKER
     _IN_WORKER = True
+    _WORKER_MEMO.clear()
 
 
 def in_worker() -> bool:
@@ -56,6 +80,41 @@ def in_worker() -> bool:
     second process pool.
     """
     return _IN_WORKER
+
+
+def worker_memo(key: Hashable, factory: Callable[[], Any]) -> Any:
+    """Get-or-create an entry in the worker-local program cache.
+
+    Inside a pool worker, the value built by ``factory()`` is kept for the
+    life of the process and returned for every later call with the same
+    ``key`` — the hook that lets workers keep assembled (and warm-started)
+    LP programs across the candidate evaluations they are handed. Outside
+    a worker it simply calls ``factory()``: the serial paths carry reuse
+    explicitly (``family=`` / ``program=`` arguments), and an implicit
+    process-lifetime cache in the main process would leak state between
+    unrelated calls.
+
+    Keys must be content fingerprints (see
+    :func:`repro.runtime.cache.topology_fingerprint` /
+    :func:`~repro.runtime.cache.system_fingerprint`), not object ids —
+    workers unpickle fresh argument objects for every task.
+
+    The registry is bounded (least-recently-used entry evicted past
+    ``_WORKER_MEMO_MAX``), so a long-lived worker that sees many distinct
+    placements cannot accumulate solver state without limit; an evicted
+    program is simply rebuilt on its next use. Hits refresh recency, so
+    an entry every task touches is never the one evicted.
+    """
+    if not _IN_WORKER:
+        return factory()
+    try:
+        value = _WORKER_MEMO.pop(key)
+    except KeyError:
+        value = factory()
+    _WORKER_MEMO[key] = value  # (re)insert at the recent end
+    while len(_WORKER_MEMO) > _WORKER_MEMO_MAX:
+        _WORKER_MEMO.pop(next(iter(_WORKER_MEMO)))
+    return value
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -130,12 +189,15 @@ class GridRunner:
                 keys[point.tag] = key
             pending.append(point)
 
-        for tag, value in zip(
-            [p.tag for p in pending], self._evaluate(pending)
-        ):
-            results[tag] = value
-            if self.cache is not None and tag in keys:
-                self.cache.put(keys[tag], value)
+        def _record(point: GridPoint, value: Any) -> None:
+            # Called per completion, not after the whole batch: results
+            # finished before a later point fails are already cached, so
+            # a retry only recomputes what actually needs recomputing.
+            results[point.tag] = value
+            if self.cache is not None and point.tag in keys:
+                self.cache.put(keys[point.tag], value)
+
+        self._evaluate(pending, _record)
         return results
 
     def map(
@@ -169,19 +231,60 @@ class GridRunner:
             )
         return self._pool_holder[0]
 
-    def _evaluate(self, points: list[GridPoint]) -> list[Any]:
+    def _evaluate(
+        self,
+        points: list[GridPoint],
+        record: Callable[[GridPoint, Any], None],
+    ) -> None:
         # A parallel runner dispatches even a single point to the pool:
         # running it inline in the main process would let runners nested
         # inside the point's fn go parallel (the process is not branded as
         # a worker), silently changing which code path computed a result
         # that is cached under a scheduling-independent key.
         if not self.parallel or not points:
-            return [point() for point in points]
+            for point in points:
+                try:
+                    value = point()
+                except Exception as exc:
+                    raise ReproError(
+                        f"grid point {point.tag!r} failed: {exc}"
+                    ) from exc
+                record(point, value)
+            return
         pool = self._pool()
         futures = [
             pool.submit(_invoke, point.fn, point.kwargs) for point in points
         ]
-        return [future.result() for future in futures]
+        recorded = 0
+        try:
+            for point, future in zip(points, futures):
+                try:
+                    value = future.result()
+                except Exception as exc:
+                    raise ReproError(
+                        f"grid point {point.tag!r} failed in a pool "
+                        f"worker: {exc}"
+                    ) from exc
+                record(point, value)
+                recorded += 1
+        except BaseException:
+            # Cancel the still-queued remainder of the batch — points
+            # already executing in workers run to completion (they cannot
+            # be interrupted) — then salvage whatever finished beyond the
+            # failure so cached results survive for a retry.
+            for future in futures:
+                future.cancel()
+            for point, future in list(zip(points, futures))[recorded + 1:]:
+                try:
+                    if (
+                        future.done()
+                        and not future.cancelled()
+                        and future.exception() is None
+                    ):
+                        record(point, future.result())
+                except Exception:
+                    pass  # salvage must never mask the original error
+            raise
 
     def close(self) -> None:
         """Shut down the worker pool (if one was ever created)."""

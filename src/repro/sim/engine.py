@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from typing import Callable
 
 from repro.errors import SimulationError
@@ -115,14 +116,22 @@ class Simulator:
         self, delay: float, callback: Callable[[], None]
     ) -> ScheduledEvent:
         """Schedule ``callback`` to run ``delay`` ms from now."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past ({delay})")
+        # NaN must be rejected explicitly: `delay < 0` is False for NaN,
+        # and a NaN time silently corrupts the heap's ordering invariant.
+        if not math.isfinite(delay) or delay < 0:
+            raise SimulationError(
+                f"event delay must be finite and non-negative, got {delay}"
+            )
         return self.schedule_at(self._now + delay, callback)
 
     def schedule_at(
         self, time: float, callback: Callable[[], None]
     ) -> ScheduledEvent:
         """Schedule ``callback`` at an absolute simulation time."""
+        if not math.isfinite(time):
+            raise SimulationError(
+                f"event time must be finite, got {time}"
+            )
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self._now}"

@@ -10,9 +10,15 @@ quorums (good under low demand).
 The ten LPs of a sweep share every coefficient except the capacity RHS, so
 the sweep assembles the constraint system once per placement
 (:class:`~repro.strategies.lp_optimizer.StrategyProgram`) and batch-solves
-all levels against the shared structure. Levels whose LP is infeasible
-(capacity below the placed system's optimal load) are no longer silently
-skipped: they are recorded in
+all levels against the shared structure — in ascending capacity order
+(``order="sorted"``), so each warm re-solve is a small monotone
+perturbation of the previous basis, with results un-permuted back to the
+caller's level order. Inside a pool worker the assembled program comes
+from the worker-local cache
+(:func:`~repro.strategies.lp_optimizer.shared_strategy_program`), so grid
+points sharing a placement share one warm program. Levels whose LP is
+infeasible (capacity below the placed system's optimal load) are no
+longer silently skipped: they are recorded in
 :attr:`CapacitySweepResult.infeasible_capacities` so figures and logs can
 show what was dropped.
 """
@@ -28,7 +34,10 @@ from repro.core.response_time import ResponseTimeResult, evaluate
 from repro.core.strategy import ExplicitStrategy
 from repro.errors import InfeasibleError, StrategyError
 from repro.quorums.load_analysis import optimal_load
-from repro.strategies.lp_optimizer import StrategyProgram
+from repro.strategies.lp_optimizer import (
+    StrategyProgram,
+    shared_strategy_program,
+)
 
 __all__ = [
     "capacity_levels",
@@ -120,7 +129,7 @@ def sweep_uniform_capacities(
         levels = capacity_levels(l_opt)
     levels = np.asarray(levels, dtype=np.float64)
     if program is None:
-        program = StrategyProgram(placed, coalesce=coalesce)
+        program = shared_strategy_program(placed, coalesce=coalesce)
     strategies = program.solve_many([float(c) for c in levels])
 
     points: list[CapacitySweepPoint] = []

@@ -225,15 +225,18 @@ class TestIterativeIntegration:
     CANDIDATES = np.arange(6)
 
     def test_batched_iterative_matches_loop_path(self, planetlab):
-        """Warm batched solves drive the loop to the same outcome as the
-        cold reference: every iteration's metrics within 1e-9 and the
-        first iteration's placement identical. Later iterations run under
-        LP-optimal strategies that zero out whole quorums, leaving the
-        elements unique to them genuinely unconstrained — there warm and
-        cold solves may round tied optimal vertices to different
-        (equal-quality) placements, which is why only the metrics are
-        pinned beyond iteration 1 (and why CACHE_SCHEMA_VERSION was
-        bumped when the batched path became the default)."""
+        """Warm batched solves drive the loop through the same first
+        iteration as the cold reference: metrics within 1e-9 and the
+        placement identical (the uniform-strategy LPs are tie-free here).
+        Later iterations run under LP-optimal strategies that zero out
+        whole quorums, leaving the elements unique to them genuinely
+        unconstrained — tied optimal vertices that the canonical anchored
+        solves and the cold reference may break differently and round to
+        different (equal-LP-quality) placements, after which the
+        trajectories legitimately diverge (that is why
+        CACHE_SCHEMA_VERSION was bumped). Beyond iteration 1 the pinned
+        contract is therefore structural: each path improves strictly
+        until its stopping rule and returns its own best iteration."""
         kwargs = dict(
             capacities=0.9,
             alpha=7.0,
@@ -246,21 +249,24 @@ class TestIterativeIntegration:
         loop = iterative_optimize(
             planetlab, GridQuorumSystem(2), fractional="loop", **kwargs
         )
-        assert batched.iterations_run == loop.iterations_run
-        assert batched.response_time == pytest.approx(
-            loop.response_time, abs=1e-9
-        )
+        first_b, first_l = batched.history[0], loop.history[0]
         assert np.array_equal(
-            batched.history[0].placed.placement.assignment,
-            loop.history[0].placed.placement.assignment,
+            first_b.placed.placement.assignment,
+            first_l.placed.placement.assignment,
         )
-        for rec_b, rec_l in zip(batched.history, loop.history):
-            assert rec_b.response_time == pytest.approx(
-                rec_l.response_time, abs=1e-9
-            )
-            assert rec_b.phase2_network_delay == pytest.approx(
-                rec_l.phase2_network_delay, abs=1e-9
-            )
+        for metric in (
+            "phase1_network_delay",
+            "phase2_network_delay",
+            "response_time",
+        ):
+            assert getattr(first_b, metric) == pytest.approx(
+                getattr(first_l, metric), abs=1e-9
+            ), metric
+        for result in (batched, loop):
+            times = [rec.response_time for rec in result.history]
+            # every iteration kept by the stopping rule strictly improved
+            assert all(b < a for a, b in zip(times[:-1], times[1:-1]))
+            assert result.response_time == min(times)
 
     def test_family_shared_across_calls(self, line_topology):
         """One family threaded through a capacity sweep: later calls
@@ -303,9 +309,11 @@ class TestIterativeIntegration:
 
 class TestParallelSearch:
     def test_parallel_candidates_bit_identical_to_serial(self, planetlab):
-        """best_many_to_one_placement over a parallel runner dispatches
-        pure cold evaluations — bit-identical to the serial no-family
-        search for any worker count."""
+        """best_many_to_one_placement over a parallel runner hands its
+        workers worker-local warm families — still bit-identical to the
+        serial (family-warm) search for any worker count, because
+        canonical anchored solves make every candidate's result a pure
+        function of the request."""
         caps = np.full(planetlab.n_nodes, 0.9)
         serial = best_many_to_one_placement(
             planetlab, GRID, capacities=caps, candidates=np.arange(6)

@@ -184,6 +184,44 @@ class TestCacheEviction:
         hit, _ = cache.lookup(keys[-1])
         assert hit  # newest kept
 
+    def test_overwrite_does_not_inflate_size_estimate(self, tmp_path):
+        """Regression: put() used to add every store's size without
+        subtracting the overwritten entry, inflating the estimate."""
+        payload = b"x" * 2048
+        cache = ResultCache(tmp_path, max_size_bytes=1 << 20)
+        key = content_key(x=1)
+        for _ in range(5):
+            cache.put(key, payload)
+        assert len(cache) == 1
+        assert cache._approx_size == cache.size_bytes()
+
+    def test_overwrites_do_not_trigger_spurious_trims(self, tmp_path):
+        payload = b"y" * 1024
+        probe = ResultCache(tmp_path)
+        probe.put(content_key(probe=True), payload)
+        per_entry = probe.size_bytes()
+        probe.clear()
+
+        cache = ResultCache(tmp_path, max_size_bytes=3 * per_entry + 64)
+        cache.put(content_key(a=1), payload)
+        cache.put(content_key(b=2), payload)
+        for _ in range(10):  # rewriting one key must not evict anything
+            cache.put(content_key(c=3), payload)
+        assert cache.evictions == 0
+        assert len(cache) == 3
+
+    def test_clear_resets_size_estimate(self, tmp_path):
+        """Regression: clear() used to leave _approx_size at its old
+        value, forcing early trims on every store afterwards."""
+        cache = ResultCache(tmp_path, max_size_bytes=1 << 20)
+        for i in range(4):
+            cache.put(content_key(x=i), b"z" * 512)
+        assert cache._approx_size > 0
+        cache.clear()
+        assert cache._approx_size == 0
+        cache.put(content_key(y=1), b"z" * 512)
+        assert cache._approx_size == cache.size_bytes()
+
     def test_unbounded_cache_never_trims(self, tmp_path):
         cache = ResultCache(tmp_path)
         for i in range(5):
@@ -228,16 +266,56 @@ class TestGridRunner:
         ]
         assert GridRunner(jobs=2).run(points) == GridRunner().run(points)
 
-    def test_worker_error_propagates(self):
-        with pytest.raises(RuntimeError):
+    def test_worker_error_propagates_with_point_tag(self):
+        """A failing point surfaces as ReproError naming its tag — on the
+        serial path and from a pool worker alike — with the original
+        exception chained as the cause."""
+        with pytest.raises(ReproError, match="'boom'") as info:
             GridRunner().run([GridPoint(tag="boom", fn=_fail)])
-        with pytest.raises(RuntimeError):
-            GridRunner(jobs=2).run(
-                [
-                    GridPoint(tag="boom", fn=_fail),
-                    GridPoint(tag="ok", fn=_square, kwargs={"x": 2}),
-                ]
+        assert isinstance(info.value.__cause__, RuntimeError)
+        with GridRunner(jobs=2) as runner:
+            with pytest.raises(ReproError, match="'boom'") as info:
+                runner.run(
+                    [
+                        GridPoint(tag="boom", fn=_fail),
+                        GridPoint(tag="ok", fn=_square, kwargs={"x": 2}),
+                    ]
+                )
+        assert isinstance(info.value.__cause__, RuntimeError)
+
+    def test_failed_batch_cancels_queued_points(self):
+        """After a point fails, still-queued points of the batch are
+        cancelled (in-flight ones finish but are discarded)."""
+        points = [GridPoint(tag="boom", fn=_fail)] + [
+            GridPoint(tag=i, fn=_square, kwargs={"x": i}) for i in range(32)
+        ]
+        with GridRunner(jobs=2) as runner:
+            with pytest.raises(ReproError, match="'boom'"):
+                runner.run(points)
+            # the pool stays usable for the next batch
+            assert runner.map(_square, [{"x": 3}]) == [9]
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_results_finished_before_a_failure_reach_the_cache(
+        self, tmp_path, jobs
+    ):
+        """Points completed before a later point fails are already
+        stored, so a retry only recomputes what actually needs it."""
+        cache = ResultCache(tmp_path)
+        points = [
+            GridPoint(
+                tag=i, fn=_square, kwargs={"x": i}, cache_key={"x": i}
             )
+            for i in range(4)
+        ] + [GridPoint(tag="boom", fn=_fail)]
+        with GridRunner(jobs=jobs, cache=cache) as runner:
+            with pytest.raises(ReproError, match="'boom'"):
+                runner.run(points)
+        assert cache.stores == 4
+        retry = ResultCache(tmp_path)
+        rerun = GridRunner(cache=retry).run(points[:4])
+        assert rerun == {i: i * i for i in range(4)}
+        assert retry.hits == 4 and retry.stores == 0
 
     def test_cache_skips_work_and_stores(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -377,6 +455,17 @@ class TestParallelEquivalence:
         )
         assert cache.hits == cache.stores
         assert first == second
+
+    def test_best_placement_duplicate_candidates_allowed(
+        self, small_topology
+    ):
+        """Point tags carry (position, v0), so a duplicated candidate is
+        evaluated twice rather than tripping the unique-tag check."""
+        system = GridQuorumSystem(3)
+        dup = best_placement(small_topology, system, candidates=[3, 3, 5])
+        ref = best_placement(small_topology, system, candidates=[3, 5])
+        assert dup.v0 == ref.v0
+        assert dup.delays_by_candidate == ref.delays_by_candidate
 
     def test_best_placement_parallel_identical(self, small_topology):
         for system in (GridQuorumSystem(3), majority(MajorityKind.BFT, 2)):

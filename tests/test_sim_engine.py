@@ -62,6 +62,30 @@ class TestScheduling:
         with pytest.raises(SimulationError):
             sim.schedule(-1.0, lambda: None)
 
+    @pytest.mark.parametrize(
+        "bad", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_non_finite_delay_rejected(self, bad):
+        """Regression: ``delay < 0`` is False for NaN, so a NaN event used
+        to slip through and silently corrupt heap ordering."""
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(bad, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(bad, lambda: None)
+        assert sim.pending_events == 0
+
+    def test_nan_event_cannot_corrupt_heap_order(self):
+        """With NaN rejected, surrounding events still fire in order."""
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b"))
+        with pytest.raises(SimulationError):
+            sim.schedule(float("nan"), lambda: fired.append("nan"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.run(until=10.0)
+        assert fired == ["a", "b"]
+
     def test_schedule_in_past_rejected(self):
         sim = Simulator()
         sim.schedule(5.0, lambda: None)
