@@ -13,6 +13,8 @@ time. Subcommands::
     python -m repro plan --system grid:4 --many-to-one 0.8
     python -m repro figure fig_6_3 --fast --jobs 4
     python -m repro figure fig_7_6 --no-cache
+    python -m repro dynamics --scenario mixed --epochs 24 --jobs 2
+    python -m repro dynamics --scenario diurnal --policies static,threshold:0.1
 
 ``--jobs`` parallelizes the independent units of work (placement
 candidates for ``plan``, grid points for ``figure``) over worker
@@ -34,6 +36,13 @@ import numpy as np
 from repro.analysis.fault_tolerance import crash_tolerance
 from repro.core.response_time import alpha_from_demand, evaluate
 from repro.core.strategy import ExplicitStrategy
+from repro.dynamics.replay import replay
+from repro.dynamics.scenarios import (
+    diurnal_scenario,
+    flash_crowd_scenario,
+    mixed_scenario,
+    partition_heal_scenario,
+)
 from repro.errors import ReproError
 from repro.experiments.registry import FIGURES, run_figure
 from repro.network.datasets import available_topologies, load_topology
@@ -222,6 +231,53 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _dynamics_trace(topology, scenario: str, epochs: int, seed: int):
+    if scenario == "diurnal":
+        return diurnal_scenario(topology, epochs, seed=seed)
+    if scenario == "flash-crowd":
+        return flash_crowd_scenario(topology, epochs, seed=seed, depth=0.6)
+    if scenario == "partition-heal":
+        return partition_heal_scenario(
+            topology, epochs, seed=seed,
+            region_size=max(1, topology.n_nodes // 8),
+        )
+    # mixed: the same definition the fig_dyn figure replays
+    return mixed_scenario(topology, epochs, seed=seed)
+
+
+def _cmd_dynamics(args) -> int:
+    topology = load_topology(args.topology)
+    system = parse_system(args.system)
+    if args.epochs < 1:
+        raise ReproError(f"--epochs must be positive, got {args.epochs}")
+    if args.candidates < 0:
+        raise ReproError(
+            f"--candidates must be >= 0, got {args.candidates}"
+        )
+    trace = _dynamics_trace(topology, args.scenario, args.epochs, args.seed)
+    policies = tuple(
+        spec for spec in (p.strip() for p in args.policies.split(","))
+        if spec
+    )
+    candidates = (
+        None
+        if args.candidates == 0
+        else np.argsort(topology.mean_distances())[: args.candidates]
+    )
+    with GridRunner(jobs=args.jobs) as runner:
+        result = replay(
+            topology,
+            system,
+            trace,
+            policies=policies,
+            mode=args.mode,
+            candidates=candidates,
+            runner=runner,
+        )
+    print(result.render_text())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -270,6 +326,41 @@ def build_parser() -> argparse.ArgumentParser:
                         help="trim the cache to this size after each "
                         "store, evicting oldest entries first "
                         "(default: unbounded)")
+
+    dynamics = sub.add_parser(
+        "dynamics",
+        help="replay a time-varying topology scenario and measure how "
+        "adaptation policies track the optimum",
+    )
+    dynamics.add_argument("--topology", default="planetlab-50",
+                          choices=available_topologies())
+    dynamics.add_argument("--system", default="grid:5",
+                          help="'grid:<k>' or 'majority:<simple|bft|qu>:<t>'")
+    dynamics.add_argument("--scenario", default="mixed",
+                          choices=["mixed", "diurnal", "flash-crowd",
+                                   "partition-heal"],
+                          help="scenario generator (default: mixed — "
+                          "drift + flash crowd + partition)")
+    dynamics.add_argument("--epochs", type=int, default=24, metavar="N",
+                          help="timeline length in epochs")
+    dynamics.add_argument("--policies",
+                          default="static,periodic:4,threshold:0.05",
+                          metavar="SPECS",
+                          help="comma-separated policy specs "
+                          "(static, periodic:<k>, threshold:<x>)")
+    dynamics.add_argument("--mode", default="incremental",
+                          choices=["incremental", "cold"],
+                          help="re-optimize warm in place, or rebuild "
+                          "per re-optimization (the benchmark baseline)")
+    dynamics.add_argument("--seed", type=int, default=7,
+                          help="scenario generator seed")
+    dynamics.add_argument("--candidates", type=int, default=0, metavar="N",
+                          help="restrict re-placement searches to the N "
+                          "nodes with the smallest average client "
+                          "distance (0 = search every node)")
+    dynamics.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="worker processes for placement and "
+                          "replay points (0 = all cores)")
     return parser
 
 
@@ -280,6 +371,7 @@ def main(argv: list[str] | None = None) -> int:
         "systems": _cmd_systems,
         "plan": _cmd_plan,
         "figure": _cmd_figure,
+        "dynamics": _cmd_dynamics,
     }
     try:
         return handlers[args.command](args)

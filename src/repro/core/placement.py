@@ -215,6 +215,35 @@ class PlacedQuorumSystem:
         """
         return self._max_over_quorums(self.topology.rtt)
 
+    def delay_matrix_for(
+        self, rtt: np.ndarray, node_costs: np.ndarray | None = None
+    ) -> np.ndarray:
+        """``delta[v, i]`` under an *alternative* RTT matrix.
+
+        The dynamics subsystem uses this to re-evaluate a fixed placement
+        as round-trip times drift: the placed-quorum structure (and hence
+        the gather indices) is unchanged, only the distance values move.
+        ``rtt`` must be square over this placement's node space; it is
+        *not* re-closed metrically — drifted matrices are taken as
+        measured. ``node_costs`` adds a per-node cost before the max, the
+        equation-(4.1) augmentation.
+        """
+        values = np.asarray(rtt, dtype=np.float64)
+        if values.shape != (self.n_nodes, self.n_nodes):
+            raise PlacementError(
+                f"rtt must have shape ({self.n_nodes}, {self.n_nodes}), "
+                f"got {values.shape}"
+            )
+        if node_costs is not None:
+            costs = np.asarray(node_costs, dtype=np.float64)
+            if costs.shape != (self.n_nodes,):
+                raise PlacementError(
+                    f"node_costs must have shape ({self.n_nodes},), "
+                    f"got {costs.shape}"
+                )
+            values = values + costs[None, :]
+        return self._max_over_quorums(values)
+
     def quorum_delay(self, client: int, quorum_index: int) -> float:
         """Network delay ``delta_f(v, Q_i)`` for one client/quorum pair."""
         nodes = self.placed_quorums[quorum_index]

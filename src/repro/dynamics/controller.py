@@ -1,0 +1,353 @@
+"""Adaptation policies and the per-segment replay kernel.
+
+Between two churn boundaries the placement is fixed, so everything an
+adaptation policy does is drive the access-strategy LP (4.3)-(4.6) of one
+:class:`~repro.core.placement.PlacedQuorumSystem` as the topology drifts
+under it. The :class:`AdaptiveController` exploits the batched LP backend
+end to end in its default ``incremental`` mode:
+
+* **capacity events** are pure RHS — a re-optimization is one anchored
+  re-solve of the persistent warm program;
+* **RTT-drift events** rewrite the objective in place
+  (:meth:`~repro.strategies.lp_optimizer.StrategyProgram.update_delays`)
+  against the same warm model — the constraint system is RTT-free;
+* only the segment's *first* epoch pays an assembly.
+
+``cold`` mode is the baseline the benchmark measures against: every
+re-optimization assembles a fresh program and solves it cold, exactly what
+an implementation without the build-once/solve-many machinery would do.
+Both modes answer the same LPs, so their objectives agree within solver
+tolerance at every epoch (pinned by ``tests/test_dynamics.py``); within a
+mode, canonical (anchored) solves make the whole replay a pure function of
+its inputs — which is what lets :func:`~repro.dynamics.replay.replay`
+schedule segments over a :class:`~repro.runtime.runner.GridRunner` with
+``jobs=N`` bit-identical to ``jobs=1``.
+
+Policy contract
+---------------
+A policy sees, at every epoch after the segment's first, the expected
+delay of the strategy currently in force (measured under the epoch's
+drifted delays) and the expected delay it had right after the last
+re-optimization; it returns whether to re-optimize now. The first epoch of
+a segment always re-optimizes (the placement is fresh). ``clairvoyant`` —
+re-optimize every epoch — is the regret baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.placement import PlacedQuorumSystem, Placement
+from repro.core.strategy import ExplicitStrategy
+from repro.dynamics.events import effective_rtt
+from repro.errors import DynamicsError, InfeasibleError
+from repro.network.graph import Topology
+from repro.quorums.base import QuorumSystem
+from repro.strategies.lp_optimizer import StrategyProgram
+
+__all__ = [
+    "AdaptiveController",
+    "PeriodicPolicy",
+    "SegmentSeries",
+    "StaticPolicy",
+    "ThresholdPolicy",
+    "parse_policy",
+    "replay_segment",
+]
+
+REPLAY_MODES = ("incremental", "cold")
+
+
+@dataclass(frozen=True)
+class StaticPolicy:
+    """Optimize once per segment, then never adapt."""
+
+    spec = "static"
+
+    def should_reoptimize(
+        self, epoch_in_segment: int, value_now: float, value_at_reopt: float
+    ) -> bool:
+        return epoch_in_segment == 0
+
+
+@dataclass(frozen=True)
+class PeriodicPolicy:
+    """Re-optimize every ``period`` epochs, drift be damned."""
+
+    period: int
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise DynamicsError(
+                f"periodic policy needs period >= 1, got {self.period}"
+            )
+
+    @property
+    def spec(self) -> str:
+        return f"periodic:{self.period}"
+
+    def should_reoptimize(
+        self, epoch_in_segment: int, value_now: float, value_at_reopt: float
+    ) -> bool:
+        return epoch_in_segment % self.period == 0
+
+
+@dataclass(frozen=True)
+class ThresholdPolicy:
+    """Re-optimize when measured degradation exceeds a relative bound.
+
+    Degradation is ``value_now / value_at_last_reopt - 1`` — how much the
+    strategy currently in force has drifted away from the quality it was
+    (re)optimized at, measured with the cheap matrix evaluation, no LP.
+    """
+
+    degradation: float
+
+    def __post_init__(self) -> None:
+        # The explicit finiteness check matters: nan/inf pass a naive
+        # `<= 0` test and silently degrade the policy to never-reoptimize.
+        if not (np.isfinite(self.degradation) and self.degradation > 0):
+            raise DynamicsError(
+                "threshold policy needs a positive finite relative "
+                f"degradation, got {self.degradation}"
+            )
+
+    @property
+    def spec(self) -> str:
+        return f"threshold:{self.degradation:g}"
+
+    def should_reoptimize(
+        self, epoch_in_segment: int, value_now: float, value_at_reopt: float
+    ) -> bool:
+        if epoch_in_segment == 0:
+            return True
+        if value_at_reopt <= 0:
+            return value_now > 0
+        return value_now > value_at_reopt * (1.0 + self.degradation)
+
+
+def parse_policy(spec: str):
+    """Parse a policy spec: ``static``, ``periodic:<k>``,
+    ``threshold:<x>``, or ``clairvoyant`` (= ``periodic:1``).
+
+    >>> parse_policy("periodic:4").period
+    4
+    >>> parse_policy("threshold:0.05").degradation
+    0.05
+    >>> parse_policy("clairvoyant").spec
+    'periodic:1'
+    """
+    parts = str(spec).strip().lower().split(":")
+    try:
+        if parts == ["static"]:
+            return StaticPolicy()
+        if parts == ["clairvoyant"]:
+            return PeriodicPolicy(1)
+        if parts[0] == "periodic" and len(parts) == 2:
+            return PeriodicPolicy(int(parts[1]))
+        if parts[0] == "threshold" and len(parts) == 2:
+            return ThresholdPolicy(float(parts[1]))
+    except ValueError:
+        pass
+    raise DynamicsError(
+        f"cannot parse policy spec {spec!r}; expected 'static', "
+        "'periodic:<k>', 'threshold:<x>', or 'clairvoyant'"
+    )
+
+
+@dataclass(frozen=True, eq=False)
+class SegmentSeries:
+    """Per-epoch outcome arrays of one (policy, segment) replay.
+
+    All arrays share the segment's epoch count. ``expected_delay`` is the
+    expected network delay of the strategy in force at the end of each
+    epoch, measured under that epoch's drifted RTTs; ``max_overload`` is
+    the worst per-node capacity violation of that strategy under the
+    epoch's capacities (a *stale* strategy can undercut a freshly
+    optimized one on raw delay precisely by overloading crunched nodes —
+    this series is what keeps that visible); ``lp_solves`` counts solver
+    invocations charged to the epoch (anchor calibrations included),
+    ``assemblies`` full program assemblies.
+    """
+
+    expected_delay: np.ndarray
+    reoptimized: np.ndarray
+    infeasible: np.ndarray
+    max_overload: np.ndarray
+    lp_solves: np.ndarray
+    assemblies: np.ndarray
+
+
+def _expected_delay(matrix: np.ndarray, delta: np.ndarray) -> float:
+    """``avg_v sum_i p[v, i] delta[v, i]`` — objective (4.3) evaluated."""
+    return float((matrix * delta).sum(axis=1).mean())
+
+
+class AdaptiveController:
+    """Replays one fixed-placement segment under one adaptation policy.
+
+    Parameters
+    ----------
+    placed:
+        The segment's placed quorum system (over the member node space).
+    policy:
+        A policy object (see :func:`parse_policy`).
+    mode:
+        ``"incremental"`` keeps one warm program for the whole segment;
+        ``"cold"`` assembles and solves from scratch at every
+        re-optimization.
+    backend:
+        LP backend override, passed through to the programs.
+    """
+
+    def __init__(
+        self,
+        placed: PlacedQuorumSystem,
+        policy,
+        mode: str = "incremental",
+        backend: str | None = None,
+    ) -> None:
+        if mode not in REPLAY_MODES:
+            raise DynamicsError(
+                f"unknown replay mode {mode!r}; choose from {REPLAY_MODES}"
+            )
+        self.placed = placed
+        self.policy = policy
+        self.mode = mode
+        self.backend = backend
+        self._program: StrategyProgram | None = None
+        self._synced_delta: np.ndarray | None = None
+        self._uniform = np.full(
+            (placed.n_nodes, placed.num_quorums), 1.0 / placed.num_quorums
+        )
+
+    def _reoptimize(
+        self, delta: np.ndarray, capacities: np.ndarray
+    ) -> tuple[np.ndarray | None, int, int]:
+        """One re-optimization; returns (matrix or None, solves, builds)."""
+        if self.mode == "cold":
+            program = StrategyProgram(
+                self.placed, backend=self.backend, delay_matrix=delta
+            )
+            # A single-variant batch is exactly one cold solve — no anchor
+            # calibration — which is what a from-scratch rebuild would pay.
+            strategy = program.solve_many([capacities], order="given")[0]
+            matrix = None if strategy is None else strategy.matrix
+            return matrix, program.lp_solves, 1
+
+        builds = 0
+        if self._program is None:
+            self._program = StrategyProgram(
+                self.placed, backend=self.backend, delay_matrix=delta
+            )
+            self._synced_delta = delta
+            builds = 1
+        elif self._synced_delta is not delta:
+            self._program.update_delays(delta)
+            self._synced_delta = delta
+        before = self._program.lp_solves
+        try:
+            matrix = self._program.solve(capacities).matrix
+        except InfeasibleError:
+            matrix = None
+        return matrix, self._program.lp_solves - before, builds
+
+    def run_segment(
+        self,
+        rtt_factors: np.ndarray,
+        capacities: np.ndarray,
+        rtt_changed: np.ndarray,
+    ) -> SegmentSeries:
+        """Replay the segment's epochs in order.
+
+        ``rtt_factors``/``capacities`` are ``(epochs, nodes)`` stacks over
+        the segment's node space; ``rtt_changed[i]`` marks epochs whose
+        drift actually moved (the delay matrix is recomputed only there).
+        An infeasible re-optimization keeps the strategy in force (the
+        segment's first epoch falls back to the uniform strategy) and is
+        recorded, never silently dropped.
+        """
+        factors = np.asarray(rtt_factors, dtype=np.float64)
+        caps = np.asarray(capacities, dtype=np.float64)
+        changed = np.asarray(rtt_changed, dtype=bool)
+        n_epochs = factors.shape[0]
+        if caps.shape[0] != n_epochs or changed.shape[0] != n_epochs:
+            raise DynamicsError(
+                "per-epoch stacks must share the segment's epoch count"
+            )
+
+        base_rtt = self.placed.topology.rtt
+        delta: np.ndarray | None = None
+        matrix: np.ndarray | None = None
+        value_at_reopt = np.inf
+        retry_pending = False  # last attempt was infeasible: keep trying
+
+        out = SegmentSeries(
+            expected_delay=np.zeros(n_epochs),
+            reoptimized=np.zeros(n_epochs, dtype=bool),
+            infeasible=np.zeros(n_epochs, dtype=bool),
+            max_overload=np.zeros(n_epochs),
+            lp_solves=np.zeros(n_epochs, dtype=np.intp),
+            assemblies=np.zeros(n_epochs, dtype=np.intp),
+        )
+        incidence = self.placed.incidence_counts  # (quorums, nodes)
+        for i in range(n_epochs):
+            if delta is None or changed[i]:
+                delta = self.placed.delay_matrix_for(
+                    effective_rtt(base_rtt, factors[i])
+                )
+            if matrix is None or retry_pending:
+                reopt = True  # nothing in force yet, or last attempt failed
+            else:
+                value_now = _expected_delay(matrix, delta)
+                reopt = self.policy.should_reoptimize(
+                    i, value_now, value_at_reopt
+                )
+            if reopt:
+                new_matrix, solves, builds = self._reoptimize(
+                    delta, caps[i]
+                )
+                out.lp_solves[i] = solves
+                out.assemblies[i] = builds
+                if new_matrix is None:
+                    out.infeasible[i] = True
+                    retry_pending = True
+                    if matrix is None:
+                        matrix = self._uniform
+                else:
+                    out.reoptimized[i] = True
+                    retry_pending = False
+                    matrix = new_matrix
+                    value_at_reopt = _expected_delay(matrix, delta)
+            out.expected_delay[i] = _expected_delay(matrix, delta)
+            loads = (matrix @ incidence).mean(axis=0)
+            out.max_overload[i] = float(
+                np.maximum(loads - caps[i], 0.0).max()
+            )
+        return out
+
+
+def replay_segment(
+    topology: Topology,
+    system: QuorumSystem,
+    assignment: np.ndarray,
+    rtt_factors: np.ndarray,
+    capacities: np.ndarray,
+    rtt_changed: np.ndarray,
+    policy: str,
+    mode: str = "incremental",
+    backend: str | None = None,
+) -> SegmentSeries:
+    """Module-level segment replay (picklable — the replay driver's grid
+    point function).
+
+    ``topology`` and ``assignment`` live in the segment's member node
+    space; ``policy`` is a spec string (see :func:`parse_policy`).
+    """
+    placed = PlacedQuorumSystem(system, Placement(assignment), topology)
+    controller = AdaptiveController(
+        placed, parse_policy(policy), mode=mode, backend=backend
+    )
+    return controller.run_segment(rtt_factors, capacities, rtt_changed)

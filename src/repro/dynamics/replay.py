@@ -1,0 +1,393 @@
+"""The dynamics replay driver: scenario in, per-epoch time series out.
+
+:func:`replay` turns a :class:`~repro.dynamics.events.ScenarioTrace` into
+independent grid points and schedules them through a
+:class:`~repro.runtime.runner.GridRunner` — the same machinery (and the
+same guarantees) the figure runners use:
+
+1. **Placement points** — churn splits the timeline into fixed-membership
+   segments; each segment's placement is one point running the existing
+   best-``v0`` search over the member subtopology. Only churn forces this:
+   capacity and RTT events never invalidate a placement.
+2. **Segment-replay points** — one point per (policy, segment), each a
+   pure function replaying the segment's epochs through an
+   :class:`~repro.dynamics.controller.AdaptiveController`. The
+   ``clairvoyant`` policy (re-optimize every epoch) is added automatically
+   as the regret baseline.
+
+Every point carries a content cache key (topology/system fingerprints,
+the segment's event stacks, the policy spec, the replay mode, the LP
+backend), so repeated replays — or replays sharing segments — reuse
+results exactly like figure grid points do. Canonical LP solves make each
+point a pure function of its inputs, so ``jobs=N`` is bit-identical to
+``jobs=1`` (pinned by ``tests/test_dynamics.py``).
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.dynamics.controller import (
+    REPLAY_MODES,
+    SegmentSeries,
+    parse_policy,
+    replay_segment,
+)
+from repro.dynamics.events import ScenarioTrace
+from repro.errors import DynamicsError
+from repro.lp import lp_backend_name
+from repro.network.graph import Topology
+from repro.placement.search import best_placement
+from repro.quorums.base import QuorumSystem
+from repro.runtime.cache import (
+    ResultCache,
+    system_fingerprint,
+    topology_fingerprint,
+)
+from repro.runtime.grid import GridPoint
+from repro.runtime.runner import GridRunner, shared_runner
+
+__all__ = ["CLAIRVOYANT", "DynamicsResult", "PolicySeries", "replay"]
+
+#: Spec of the regret baseline: re-optimize at every epoch.
+CLAIRVOYANT = "clairvoyant"
+
+
+@dataclass(frozen=True, eq=False)
+class PolicySeries:
+    """Full-timeline outcome of one policy (segments stitched together)."""
+
+    policy: str
+    expected_delay: np.ndarray
+    reoptimized: np.ndarray
+    infeasible: np.ndarray
+    max_overload: np.ndarray
+    lp_solves: np.ndarray
+    assemblies: np.ndarray
+
+    @property
+    def cumulative_solves(self) -> np.ndarray:
+        """Running re-optimization cost in LP solves."""
+        return np.cumsum(self.lp_solves)
+
+    @property
+    def cumulative_assemblies(self) -> np.ndarray:
+        """Running re-optimization cost in program assemblies."""
+        return np.cumsum(self.assemblies)
+
+    @property
+    def reopt_count(self) -> int:
+        return int(self.reoptimized.sum())
+
+
+@dataclass(frozen=True, eq=False)
+class DynamicsResult:
+    """Outcome of one scenario replay.
+
+    ``series`` maps canonical policy specs to their
+    :class:`PolicySeries`; the ``clairvoyant`` entry (when present) is the
+    per-epoch optimum every other policy's regret is measured against.
+    ``placements`` holds one global-node-space assignment per segment.
+    """
+
+    n_epochs: int
+    policies: tuple[str, ...]
+    series: dict[str, PolicySeries]
+    segments: tuple[tuple[int, int], ...]
+    placements: tuple[np.ndarray, ...]
+    mode: str
+    metadata: dict = field(default_factory=dict)
+
+    def regret(self, policy: str) -> np.ndarray:
+        """Per-epoch excess delay of ``policy`` over the clairvoyant
+        re-optimizer.
+
+        Non-negative (up to LP tolerance) whenever the policy's strategy
+        respects the epoch's capacities. A *stale* strategy can score
+        below the clairvoyant on raw delay during a capacity crunch — by
+        overloading crunched nodes, which the re-optimizer is not allowed
+        to do; read negative regret together with
+        :attr:`PolicySeries.max_overload`.
+        """
+        if CLAIRVOYANT not in self.series:
+            raise DynamicsError(
+                "replay ran without the clairvoyant baseline; "
+                "pass include_clairvoyant=True to measure regret"
+            )
+        return (
+            self.series[policy].expected_delay
+            - self.series[CLAIRVOYANT].expected_delay
+        )
+
+    def render_text(self) -> str:
+        """Aligned per-epoch table plus a per-policy summary."""
+        specs = list(self.series)
+        lines = [
+            f"== dynamics replay: {self.n_epochs} epochs, "
+            f"{len(self.segments)} segment(s), mode={self.mode} =="
+        ]
+        for key, value in sorted(self.metadata.items()):
+            lines.append(f"   {key}: {value}")
+        width = max(14, *(len(s) + 2 for s in specs))
+        lines.append(
+            "epoch".rjust(7) + "".join(s.rjust(width) for s in specs)
+        )
+        for t in range(self.n_epochs):
+            row = [f"{t:7d}"]
+            for spec in specs:
+                series = self.series[spec]
+                marker = "*" if series.reoptimized[t] else (
+                    "!" if series.infeasible[t] else " "
+                )
+                row.append(
+                    f"{series.expected_delay[t]:{width - 1}.2f}{marker}"
+                )
+            lines.append("".join(row))
+        lines.append("   (* = re-optimized, ! = infeasible epoch)")
+        for spec in specs:
+            series = self.series[spec]
+            summary = (
+                f"   {spec}: {series.reopt_count} reopts, "
+                f"{int(series.lp_solves.sum())} LP solves, "
+                f"{int(series.assemblies.sum())} assemblies"
+            )
+            if spec != CLAIRVOYANT and CLAIRVOYANT in self.series:
+                summary += f", mean regret {self.regret(spec).mean():.3f} ms"
+            if series.max_overload.max() > 1e-9:
+                summary += (
+                    f", peak overload {series.max_overload.max():.3f}"
+                )
+            lines.append(summary)
+        return "\n".join(lines)
+
+
+def _segment_placement(
+    topology: Topology,
+    system: QuorumSystem,
+    up_nodes: np.ndarray,
+    candidates: np.ndarray | None,
+) -> np.ndarray:
+    """Best one-to-one placement over the member subtopology.
+
+    Returns the assignment in the *member* (sub) node space; module-level
+    so the driver can fan segment placements out over worker processes.
+    Placement considers membership only — transient capacity events are
+    the strategy LP's problem, which is exactly why churn is the only
+    event class that lands here.
+    """
+    sub = topology.subtopology(up_nodes)
+    search = best_placement(sub, system, candidates=candidates)
+    return search.placed.placement.assignment
+
+
+def replay(
+    topology: Topology,
+    system: QuorumSystem,
+    trace: ScenarioTrace,
+    policies: Sequence[str] = ("static", "periodic:4", "threshold:0.05"),
+    mode: str = "incremental",
+    include_clairvoyant: bool = True,
+    candidates: object = None,
+    runner: GridRunner | None = None,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+    backend: str | None = None,
+) -> DynamicsResult:
+    """Replay a scenario trace and measure how policies track the optimum.
+
+    Parameters
+    ----------
+    topology, system:
+        The base network and the (enumerable) quorum system to keep
+        placed as the scenario mutates the network.
+    trace:
+        The scenario timeline (see :mod:`repro.dynamics.scenarios` for
+        generators).
+    policies:
+        Adaptation policy specs (see
+        :func:`~repro.dynamics.controller.parse_policy`); duplicates
+        collapse, order is preserved.
+    mode:
+        ``"incremental"`` (warm in-place re-optimization, the default) or
+        ``"cold"`` (rebuild per re-optimization — the benchmark baseline).
+    include_clairvoyant:
+        Add the per-epoch re-optimizer as the regret baseline (skipped if
+        already among ``policies``).
+    candidates:
+        Optional global node ids restricting each segment's placement
+        search (intersected with the members; the paper's recipe searches
+        every node).
+    runner:
+        A shared :class:`~repro.runtime.runner.GridRunner`. Without one,
+        a runner with ``jobs`` workers and ``cache`` attached is created
+        for this call. With one, its worker count is authoritative —
+        passing a non-default ``jobs`` alongside it raises — and
+        ``cache`` is attached to it for the duration of the call (a
+        runner already carrying a *different* cache raises), the same
+        conflict contract as ``run_figure``.
+    """
+    if mode not in REPLAY_MODES:
+        raise DynamicsError(
+            f"unknown replay mode {mode!r}; choose from {REPLAY_MODES}"
+        )
+    specs: list[str] = []
+    for policy in policies:
+        spec = parse_policy(policy).spec
+        if spec == "periodic:1":
+            # periodic:1 *is* the per-epoch re-optimizer: fold it into the
+            # clairvoyant entry so it is never replayed twice under two
+            # names (and regret against it is identically zero).
+            spec = CLAIRVOYANT
+        if spec not in specs:
+            specs.append(spec)
+    if not specs:
+        raise DynamicsError("replay needs at least one policy")
+    if include_clairvoyant and CLAIRVOYANT not in specs:
+        specs.append(CLAIRVOYANT)
+
+    states = trace.states(topology)
+    segments = trace.segments()
+    topo_fp = topology_fingerprint(topology)
+    sys_fp = system_fingerprint(system)
+    candidate_arr = (
+        None if candidates is None else np.asarray(candidates, dtype=np.intp)
+    )
+
+    with ExitStack() as stack:
+        if runner is None:
+            runner = stack.enter_context(GridRunner(jobs=jobs, cache=cache))
+        else:
+            runner = stack.enter_context(
+                shared_runner(runner, jobs=jobs, cache=cache)
+            )
+        # Phase 1 — one placement per fixed-membership segment. A replay
+        # of the same trace (or another trace sharing a member set) hits
+        # the cache instead of re-running the search.
+        placement_points = []
+        for index, (start, _end) in enumerate(segments):
+            up_nodes = states[start].up_nodes
+            if candidate_arr is None:
+                cand_sub = None
+            else:
+                # Map surviving global candidates into the sub node space.
+                mask = np.isin(up_nodes, candidate_arr)
+                cand_sub = np.flatnonzero(mask)
+                if cand_sub.size == 0:
+                    cand_sub = None  # all candidates churned out: search all
+            placement_points.append(
+                GridPoint(
+                    tag=index,
+                    fn=_segment_placement,
+                    kwargs={
+                        "topology": topology,
+                        "system": system,
+                        "up_nodes": up_nodes,
+                        "candidates": cand_sub,
+                    },
+                    cache_key={
+                        "figure_point": "dynamics_placement",
+                        "topology": topo_fp,
+                        "system": sys_fp,
+                        "up_nodes": up_nodes,
+                        "candidates": cand_sub,
+                    },
+                )
+            )
+        placement_results = runner.run(placement_points)
+        sub_assignments = [
+            placement_results[index] for index in range(len(segments))
+        ]
+
+        # Phase 2 — one replay point per (policy, segment).
+        points = []
+        sub_topologies = []
+        for index, (start, end) in enumerate(segments):
+            up_nodes = states[start].up_nodes
+            sub_topologies.append(topology.subtopology(up_nodes))
+            factors = np.stack(
+                [states[t].rtt_factors[up_nodes] for t in range(start, end)]
+            )
+            caps = np.stack(
+                [states[t].capacities[up_nodes] for t in range(start, end)]
+            )
+            changed = np.array(
+                [states[t].rtt_changed for t in range(start, end)]
+            )
+            changed[0] = True  # segment entry always initializes
+            for spec in specs:
+                kwargs = {
+                    "topology": sub_topologies[index],
+                    "system": system,
+                    "assignment": sub_assignments[index],
+                    "rtt_factors": factors,
+                    "capacities": caps,
+                    "rtt_changed": changed,
+                    "policy": "periodic:1" if spec == CLAIRVOYANT else spec,
+                    "mode": mode,
+                    "backend": backend,
+                }
+                points.append(
+                    GridPoint(
+                        tag=(spec, index),
+                        fn=replay_segment,
+                        kwargs=kwargs,
+                        cache_key={
+                            "figure_point": "dynamics_segment",
+                            "topology": topo_fp,
+                            "system": sys_fp,
+                            "up_nodes": up_nodes,
+                            "assignment": sub_assignments[index],
+                            "rtt_factors": factors,
+                            "capacities": caps,
+                            "rtt_changed": changed,
+                            "policy": kwargs["policy"],
+                            "mode": mode,
+                            # Tied optima may break differently per solver
+                            # path; never serve one backend's vertices to
+                            # the other.
+                            "lp_backend": lp_backend_name()
+                            if backend is None
+                            else backend,
+                        },
+                    )
+                )
+        results = runner.run(points)
+
+    series: dict[str, PolicySeries] = {}
+    for spec in specs:
+        parts: list[SegmentSeries] = [
+            results[(spec, index)] for index in range(len(segments))
+        ]
+        series[spec] = PolicySeries(
+            policy=spec,
+            expected_delay=np.concatenate(
+                [p.expected_delay for p in parts]
+            ),
+            reoptimized=np.concatenate([p.reoptimized for p in parts]),
+            infeasible=np.concatenate([p.infeasible for p in parts]),
+            max_overload=np.concatenate([p.max_overload for p in parts]),
+            lp_solves=np.concatenate([p.lp_solves for p in parts]),
+            assemblies=np.concatenate([p.assemblies for p in parts]),
+        )
+
+    placements = tuple(
+        states[start].up_nodes[sub_assignments[index]]
+        for index, (start, _end) in enumerate(segments)
+    )
+    return DynamicsResult(
+        n_epochs=trace.n_epochs,
+        policies=tuple(s for s in specs if s != CLAIRVOYANT),
+        series=series,
+        segments=tuple(segments),
+        placements=placements,
+        mode=mode,
+        metadata={
+            "system": system.name,
+            "events": len(trace.events),
+            "lp_backend": lp_backend_name() if backend is None else backend,
+        },
+    )

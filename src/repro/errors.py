@@ -41,3 +41,8 @@ class SolverError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation was misconfigured or reached a bad state."""
+
+
+class DynamicsError(ReproError):
+    """A dynamics scenario trace or replay is invalid (events outside the
+    timeline, churn toggling an already-down node, no policy to run...)."""

@@ -21,10 +21,11 @@ from repro.experiments import (
     fig_7_7,
     fig_7_8,
     fig_8_9,
+    fig_dyn,
 )
 from repro.experiments.series import FigureResult
 from repro.runtime.cache import ResultCache
-from repro.runtime.runner import GridRunner
+from repro.runtime.runner import GridRunner, shared_runner
 
 __all__ = ["FIGURES", "run_figure"]
 
@@ -39,6 +40,7 @@ FIGURES: dict[str, Callable[..., FigureResult]] = {
     "fig_7_7": fig_7_7.run,
     "fig_7_8": fig_7_8.run,
     "fig_8_9": fig_8_9.run,
+    "fig_dyn": fig_dyn.run,
 }
 
 
@@ -59,6 +61,13 @@ def run_figure(
     ``fig_8_9``'s candidate loops) run inline inside its workers — and is
     shut down when the figure completes; pass ``runner=`` to share one
     across figures instead.
+
+    With a shared ``runner``, its worker count is authoritative: passing
+    a non-default ``jobs`` alongside it raises (the value would be
+    silently ignored otherwise). ``cache`` *is* honored — it is attached
+    to the runner for the duration of the call and detached afterwards —
+    unless the runner already carries a different cache, which is an
+    equally silent conflict and also raises.
     """
     try:
         runner_fn = FIGURES[figure_id]
@@ -66,7 +75,11 @@ def run_figure(
         raise ReproError(
             f"unknown figure {figure_id!r}; available: {sorted(FIGURES)}"
         ) from None
-    if "runner" in kwargs:
-        return runner_fn(fast=fast, **kwargs)
+    # An explicit runner=None means "no shared runner", not a conflict:
+    # fall through and build one honoring jobs/cache.
+    runner = kwargs.pop("runner", None)
+    if runner is not None:
+        with shared_runner(runner, jobs=jobs, cache=cache):
+            return runner_fn(fast=fast, runner=runner, **kwargs)
     with GridRunner(jobs=jobs, cache=cache) as runner:
         return runner_fn(fast=fast, runner=runner, **kwargs)

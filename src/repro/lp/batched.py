@@ -197,6 +197,17 @@ class _HighsBackend:
         self._solver.clearSolver()
 
     def update_objective(self, variables: np.ndarray, values: np.ndarray) -> None:
+        bulk = getattr(self._solver, "changeColsCost", None)
+        if bulk is not None:
+            # One bulk call instead of a per-variable Python loop — the
+            # dynamics controller rewrites every objective entry per
+            # RTT-drift epoch, so this is on its hot path.
+            bulk(
+                int(variables.size),
+                np.ascontiguousarray(variables, dtype=np.int32),
+                np.ascontiguousarray(values, dtype=np.float64),
+            )
+            return
         for var, value in zip(variables, values):
             self._solver.changeColCost(int(var), float(value))
 
@@ -352,6 +363,11 @@ class BatchedProgram:
             self.backend = "scipy"
             self._impl = _ScipyBackend(self._arrays)
         self._anchored = False
+        #: Solver invocations so far (calibration included) — the cost
+        #: accounting consumers like the dynamics controller report.
+        self.solve_count = 0
+        #: In-place update calls (objective or row rewrites) so far.
+        self.update_count = 0
 
     @property
     def n_le_constraints(self) -> int:
@@ -388,6 +404,7 @@ class BatchedProgram:
         # that history and the canonical guarantee would be a lie.
         self._impl.cold_restart()
         try:
+            self.solve_count += 1
             self._impl.solve(
                 np.asarray(self._arrays["b_ub"], dtype=np.float64)
                 if self._n_le
@@ -425,6 +442,7 @@ class BatchedProgram:
             )
         self._arrays["c"][variables] = coefficients
         self._impl.update_objective(variables, coefficients)
+        self.update_count += 1
 
     def update_le_rows(
         self,
@@ -470,6 +488,7 @@ class BatchedProgram:
         self._impl.update_coefficients(
             np.repeat(rows, values.shape[1]), cols, values.ravel()
         )
+        self.update_count += 1
 
     def _check_rhs(self, b_ub) -> np.ndarray | None:
         if self._n_le == 0:
@@ -515,6 +534,7 @@ class BatchedProgram:
                 f"unknown solve order {order!r}; choose 'given' or 'sorted'"
             )
         variants = [self._check_rhs(v) for v in b_ub_variants]
+        self.solve_count += len(variants)
         self._impl.cold_restart()
         if order == "sorted" and self._n_le and len(variants) > 1:
             stacked = np.stack(variants)
@@ -538,6 +558,7 @@ class BatchedProgram:
         rhs = self._check_rhs(b_ub)
         self._ensure_anchor()
         self._impl.restart()
+        self.solve_count += 1
         solution = self._impl.solve(rhs)
         if solution is None:
             raise InfeasibleError("linear program is infeasible")

@@ -41,13 +41,20 @@ from __future__ import annotations
 import os
 import weakref
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from typing import Any, Callable, Hashable, Iterable, Sequence
 
 from repro.errors import ReproError
 from repro.runtime.cache import ResultCache, content_key
 from repro.runtime.grid import GridPoint
 
-__all__ = ["GridRunner", "in_worker", "resolve_jobs", "worker_memo"]
+__all__ = [
+    "GridRunner",
+    "in_worker",
+    "resolve_jobs",
+    "shared_runner",
+    "worker_memo",
+]
 
 #: True in processes spawned by a GridRunner pool (set by the initializer).
 _IN_WORKER = False
@@ -130,6 +137,45 @@ def resolve_jobs(jobs: int | None) -> int:
     if jobs < 0:
         raise ReproError(f"jobs must be a positive worker count, got {jobs}")
     return jobs
+
+
+@contextmanager
+def shared_runner(
+    runner: "GridRunner",
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+):
+    """The caller-provided-runner contract, in one place.
+
+    Drivers that accept ``runner=`` alongside their own ``jobs=``/
+    ``cache=`` parameters (``run_figure``, ``dynamics.replay``) enter
+    this instead of silently dropping the extras: a non-default ``jobs``
+    next to a runner raises (the runner's worker count is authoritative),
+    and ``cache`` is attached to the runner for the duration of the block
+    — unless the runner already carries a *different* cache, an equally
+    silent conflict that also raises. The runner's previous cache is
+    restored on exit; the runner itself is never closed here (the caller
+    owns it).
+    """
+    if jobs != 1:
+        raise ReproError(
+            f"got both runner= (jobs={runner.jobs}) and jobs={jobs}; "
+            "the runner's worker count wins — drop one"
+        )
+    if cache is None:
+        yield runner
+        return
+    if runner.cache is not None and runner.cache is not cache:
+        raise ReproError(
+            "got cache= but the provided runner already carries a "
+            "different cache; drop one of them"
+        )
+    previous = runner.cache
+    runner.cache = cache
+    try:
+        yield runner
+    finally:
+        runner.cache = previous
 
 
 def _invoke(fn: Callable[..., Any], kwargs: dict) -> Any:

@@ -38,17 +38,52 @@ class CrashWindow:
 
 
 class FailureSchedule:
-    """A set of crash windows, queryable by (node, time)."""
+    """A set of crash windows, queryable by (node, time).
+
+    Windows are **canonically merged**: per node, overlapping, duplicate,
+    or back-to-back windows collapse into one maximal interval, and
+    :attr:`windows` always reads sorted by ``(node, start_ms)``. Schedules
+    composed from several sources (a dynamics churn trace plus hand-added
+    outages, say) therefore behave as the *union* of their downtime — a
+    node cannot be double-crashed into accidentally double-counted
+    downtime, and crash/recovery state can never toggle twice at one
+    boundary.
+    """
 
     def __init__(self, windows: list[CrashWindow] | None = None) -> None:
-        self._windows: list[CrashWindow] = list(windows or [])
+        self._windows: list[CrashWindow] = []
+        for window in windows or []:
+            self._merge_in(window)
+
+    def _merge_in(self, window: CrashWindow) -> None:
+        """Insert one window, coalescing it with any it touches."""
+        keep: list[CrashWindow] = []
+        start, end = window.start_ms, window.end_ms
+        for existing in self._windows:
+            if (
+                existing.node == window.node
+                and existing.start_ms <= end
+                and start <= existing.end_ms
+            ):
+                start = min(start, existing.start_ms)
+                end = max(end, existing.end_ms)
+            else:
+                keep.append(existing)
+        keep.append(CrashWindow(window.node, start, end))
+        keep.sort(key=lambda w: (w.node, w.start_ms))
+        self._windows = keep
 
     def add(self, node: int, start_ms: float, end_ms: float) -> None:
-        """Schedule a crash of ``node`` during ``[start_ms, end_ms)``."""
-        self._windows.append(CrashWindow(node, start_ms, end_ms))
+        """Schedule a crash of ``node`` during ``[start_ms, end_ms)``.
+
+        Merges with any existing window of the node it overlaps or
+        touches.
+        """
+        self._merge_in(CrashWindow(node, start_ms, end_ms))
 
     @property
     def windows(self) -> tuple[CrashWindow, ...]:
+        """The canonical (merged, sorted) windows."""
         return tuple(self._windows)
 
     def is_down(self, node: int, time_ms: float) -> bool:
@@ -59,7 +94,11 @@ class FailureSchedule:
         )
 
     def downtime(self, node: int, until_ms: float) -> float:
-        """Total scheduled downtime of ``node`` within ``[0, until_ms)``."""
+        """Total scheduled downtime of ``node`` within ``[0, until_ms)``.
+
+        Canonical merging makes this the measure of the *union* of the
+        node's windows — composed schedules never double-count overlap.
+        """
         total = 0.0
         for w in self._windows:
             if w.node != node:

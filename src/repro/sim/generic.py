@@ -29,6 +29,7 @@ from repro.quorums.threshold import ThresholdQuorumSystem
 from repro.sim.engine import Simulator
 from repro.sim.metrics import OperationRecord, ResponseTimeStats, summarize
 from repro.sim.network import SimNetwork
+from repro.sim.workload import PoissonArrivals
 
 __all__ = ["GenericQuorumSimulation", "GenericSimResult"]
 
@@ -122,6 +123,7 @@ class _Client:
         rng: np.random.Generator,
         coalesce: bool,
         timeout_ms: float = 0.0,
+        max_operations: int | None = None,
     ):
         self.client_id = client_id
         self.node = node
@@ -132,6 +134,7 @@ class _Client:
         self.rng = rng
         self.coalesce = coalesce
         self.timeout_ms = timeout_ms
+        self.max_operations = max_operations
         self.records: list[OperationRecord] = []
         self.running = False
         self.timeouts_total = 0
@@ -203,6 +206,14 @@ class _Client:
                 network_delay_ms=self._network_delay,
             )
         )
+        if (
+            self.max_operations is not None
+            and len(self.records) >= self.max_operations
+        ):
+            # Open-loop: this client existed for a fixed number of
+            # injected operations (usually one), not a closed loop.
+            self.running = False
+            return
         self._issue()
 
 
@@ -240,6 +251,15 @@ class GenericQuorumSimulation:
     coalesce:
         Serve co-located elements of one access in a single unit (the
         future-work load model).
+    arrivals:
+        A :class:`~repro.sim.workload.PoissonArrivals` generator switching
+        the run to **open-loop** injection: each sampled arrival time
+        launches one independent operation (round-robin over
+        ``client_nodes``) instead of the closed loop reissuing on
+        completion. Open-loop arrivals keep coming while servers are
+        crashed or saturated — the regime where queueing collapse and
+        failure brittleness are visible, which closed loops self-throttle
+        away.
     """
 
     def __init__(
@@ -253,6 +273,7 @@ class GenericQuorumSimulation:
         seed: int = 0,
         failures: FailureSchedule | None = None,
         timeout_ms: float = 0.0,
+        arrivals: PoissonArrivals | None = None,
     ) -> None:
         if service_time_ms < 0:
             raise SimulationError("service time must be non-negative")
@@ -263,6 +284,7 @@ class GenericQuorumSimulation:
             )
         self.placed = placed
         self.strategy = strategy
+        self.arrivals = arrivals
         self.sim = Simulator()
         self.network = SimNetwork(
             self.sim, placed.topology, jitter_ms=network_jitter_ms, seed=seed
@@ -274,6 +296,8 @@ class GenericQuorumSimulation:
         if self.client_nodes.size == 0:
             raise SimulationError("at least one client is required")
 
+        self._coalesce = coalesce
+        self._timeout_ms = timeout_ms
         support = placed.placement.support_set
         self.servers = {
             int(w): _Server(
@@ -286,7 +310,10 @@ class GenericQuorumSimulation:
             for w in support
         }
         self._samplers = self._build_samplers()
-        self.clients = [
+        # Open-loop runs build their one-shot clients from the arrival
+        # sequence at run() time (the horizon is known only there); only
+        # the closed loop needs one persistent client per node up front.
+        self.clients: list[_Client] = [] if arrivals is not None else [
             _Client(
                 client_id=i,
                 node=int(node),
@@ -367,16 +394,52 @@ class GenericQuorumSimulation:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _build_open_loop_clients(
+        self, duration_ms: float
+    ) -> tuple[list[_Client], np.ndarray]:
+        """One single-operation client per Poisson arrival.
+
+        Arrival times come from the generator's own seed; client ``i``
+        runs at ``client_nodes[i % len(client_nodes)]`` with the same
+        per-index rng formula as the closed loop, so a run is a pure
+        function of (placement, strategy, arrivals, seed).
+        """
+        times = self.arrivals.sample_until(duration_ms)
+        timeout = self._timeout_ms
+        return [
+            _Client(
+                client_id=i,
+                node=int(self.client_nodes[i % self.client_nodes.size]),
+                quorum_sampler=self._samplers[
+                    int(self.client_nodes[i % self.client_nodes.size])
+                ],
+                sim=self.sim,
+                network=self.network,
+                servers=self.servers,
+                rng=np.random.default_rng(self.seed * 69_941 + i),
+                coalesce=self._coalesce,
+                timeout_ms=timeout,
+                max_operations=1,
+            )
+            for i, _t in enumerate(times)
+        ], times
+
     def run(
         self,
         duration_ms: float,
         warmup_ms: float = 0.0,
         stagger_ms: float = 1.0,
     ) -> GenericSimResult:
-        """Run the closed loop and summarize."""
-        rng = np.random.default_rng(self.seed)
-        for client in self.clients:
-            client.start(float(rng.uniform(0.0, stagger_ms)))
+        """Run the workload (closed loop, or open loop with ``arrivals``)
+        and summarize."""
+        if self.arrivals is not None:
+            self.clients, times = self._build_open_loop_clients(duration_ms)
+            for client, start_at in zip(self.clients, times):
+                client.start(float(start_at))
+        else:
+            rng = np.random.default_rng(self.seed)
+            for client in self.clients:
+                client.start(float(rng.uniform(0.0, stagger_ms)))
         self.sim.run(until=duration_ms)
         for client in self.clients:
             client.stop()

@@ -71,6 +71,12 @@ class StrategyProgram:
     backend:
         Passed to :class:`~repro.lp.batched.BatchedProgram` (``None``
         auto-probes; ``"scipy"`` forces the per-variant fallback).
+    delay_matrix:
+        Objective delays ``delta[v, i]``; defaults to the placement's own
+        :attr:`~repro.core.placement.PlacedQuorumSystem.delay_matrix`.
+        The dynamics subsystem passes drifted matrices here (and rewrites
+        them later through :meth:`update_delays`) — the constraint system
+        is RTT-free, so only the objective moves.
     """
 
     def __init__(
@@ -78,6 +84,7 @@ class StrategyProgram:
         placed: PlacedQuorumSystem,
         coalesce: bool = False,
         backend: str | None = None,
+        delay_matrix: np.ndarray | None = None,
     ) -> None:
         if not placed.system.is_enumerable:
             raise StrategyError(
@@ -89,7 +96,10 @@ class StrategyProgram:
         n_clients = placed.n_nodes
         m = placed.num_quorums
 
-        delta = placed.delay_matrix  # (clients, quorums)
+        if delay_matrix is None:
+            delta = placed.delay_matrix  # (clients, quorums)
+        else:
+            delta = self._check_delay_matrix(placed, delay_matrix)
         a = placed.incidence_indicator if coalesce else placed.incidence_counts
 
         lp = LinearProgram()
@@ -138,6 +148,47 @@ class StrategyProgram:
         """Which solver path variants run through (``highspy``,
         ``scipy-highspy``, or ``scipy``)."""
         return self._batched.backend
+
+    @property
+    def lp_solves(self) -> int:
+        """Solver invocations so far (anchor calibrations included)."""
+        return self._batched.solve_count
+
+    @property
+    def lp_updates(self) -> int:
+        """In-place objective rewrites applied so far."""
+        return self._batched.update_count
+
+    @staticmethod
+    def _check_delay_matrix(
+        placed: PlacedQuorumSystem, delay_matrix: np.ndarray
+    ) -> np.ndarray:
+        delta = np.asarray(delay_matrix, dtype=np.float64)
+        expected = (placed.n_nodes, placed.num_quorums)
+        if delta.shape != expected:
+            raise StrategyError(
+                f"delay matrix must have shape {expected}, got {delta.shape}"
+            )
+        return delta
+
+    def update_delays(self, delay_matrix: np.ndarray) -> None:
+        """Re-point the objective at a drifted delay matrix, in place.
+
+        The capacity and simplex constraints of (4.4)-(4.6) do not involve
+        round-trip times, so an RTT change is *purely* an objective rewrite
+        over the assembled structure: every ``p[v, i]`` coefficient becomes
+        ``delta[v, i] / |V|`` (zeros included — the built objective vector
+        is dense). The persistent HiGHS model, when active, is updated in
+        the same call, and the next solve re-optimizes from the program's
+        anchor basis instead of assembling and solving cold. This is the
+        incremental hook the dynamics subsystem drives on RTT-drift events.
+        """
+        delta = self._check_delay_matrix(self.placed, delay_matrix)
+        coefficients = (delta / self.placed.n_nodes).ravel()
+        self._batched.update_objective(
+            self._p_block.offset + np.arange(coefficients.size, dtype=np.intp),
+            coefficients,
+        )
 
     def normalize_capacities(
         self, capacities: np.ndarray | float

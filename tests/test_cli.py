@@ -81,3 +81,29 @@ class TestCommands:
         code = main(["plan", "--system", "ring:7"])
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_dynamics_replay(self, capsys):
+        code = main(
+            [
+                "dynamics", "--system", "grid:2", "--epochs", "4",
+                "--scenario", "diurnal", "--candidates", "5",
+                "--policies", "static,threshold:0.1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dynamics replay: 4 epochs" in out
+        assert "clairvoyant" in out
+        assert "mean regret" in out
+
+    def test_dynamics_bad_policy_errors(self, capsys):
+        code = main(
+            ["dynamics", "--epochs", "4", "--policies", "sometimes"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_dynamics_negative_candidates_errors(self, capsys):
+        code = main(["dynamics", "--epochs", "4", "--candidates", "-3"])
+        assert code == 1
+        assert "candidates" in capsys.readouterr().err

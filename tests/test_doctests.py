@@ -11,6 +11,7 @@ import doctest
 import pytest
 
 import repro.cli
+import repro.dynamics.controller
 import repro.lp.batched
 import repro.lp.problem
 import repro.lp.solver
@@ -24,6 +25,7 @@ import repro.runtime.runner
     "module",
     [
         repro.cli,
+        repro.dynamics.controller,
         repro.lp.batched,
         repro.lp.problem,
         repro.lp.solver,

@@ -1,0 +1,544 @@
+"""Tests for the dynamics subsystem (`repro.dynamics`).
+
+The two acceptance pins sit in :class:`TestReplayDeterminism` and
+:class:`TestIncrementalVsCold`: replays are bit-identical for any worker
+count, and the incremental controller's strategy objectives match a
+cold-reassembly-per-epoch controller within 1e-9 at every re-optimization
+epoch — on both LP backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dynamics.controller import (
+    PeriodicPolicy,
+    StaticPolicy,
+    ThresholdPolicy,
+    parse_policy,
+)
+from repro.dynamics.events import (
+    CapacityEvent,
+    ChurnEvent,
+    RttDriftEvent,
+    ScenarioTrace,
+    effective_rtt,
+)
+from repro.dynamics.replay import CLAIRVOYANT, replay
+from repro.dynamics.scenarios import (
+    combine,
+    diurnal_scenario,
+    flash_crowd_scenario,
+    partition_heal_scenario,
+)
+from repro.errors import DynamicsError
+from repro.quorums.grid import GridQuorumSystem
+from repro.runtime.cache import ResultCache
+from repro.runtime.runner import GridRunner
+
+GRID = GridQuorumSystem(2)
+
+#: Forces the scipy fallback alongside the auto-probed (HiGHS when
+#: importable) backend; pool workers inherit the environment via fork.
+BACKENDS = ["auto", "scipy"]
+
+
+def _force_backend(monkeypatch, backend_env: str) -> None:
+    if backend_env == "scipy":
+        monkeypatch.setenv("REPRO_LP_BACKEND", "scipy")
+
+
+def _mixed_trace(topology, n_epochs=6):
+    """Drift + capacity crunch + one partition/heal on a small topology."""
+    n = topology.n_nodes
+    rng = np.random.default_rng(5)
+    events = [
+        RttDriftEvent(
+            epoch=t, factors=1.0 + 0.3 * rng.uniform(-1, 1, size=n)
+        )
+        for t in range(1, n_epochs)
+    ]
+    crunched = np.full(n, 1.0)
+    crunched[: n // 2] = 0.85
+    events.append(CapacityEvent(epoch=2, capacities=crunched))
+    events.append(CapacityEvent(epoch=4, capacities=np.ones(n)))
+    events.append(ChurnEvent(epoch=3, node=n - 1, up=False))
+    events.append(ChurnEvent(epoch=5, node=n - 1, up=True))
+    return ScenarioTrace(n, n_epochs, events)
+
+
+class TestTraceValidation:
+    def test_epoch_out_of_range(self):
+        with pytest.raises(DynamicsError):
+            ScenarioTrace(4, 3, [ChurnEvent(epoch=3, node=0, up=False)])
+
+    def test_duplicate_scalar_event_per_epoch_rejected(self):
+        with pytest.raises(DynamicsError, match="ambiguous"):
+            ScenarioTrace(
+                2,
+                4,
+                [
+                    RttDriftEvent(epoch=1, factors=[1.0, 1.1]),
+                    RttDriftEvent(epoch=1, factors=[1.2, 1.0]),
+                ],
+            )
+
+    def test_vector_shape_must_match_node_space(self):
+        with pytest.raises(DynamicsError):
+            ScenarioTrace(3, 4, [CapacityEvent(epoch=0, capacities=[1.0])])
+
+    def test_churn_must_alternate(self):
+        with pytest.raises(DynamicsError, match="already"):
+            ScenarioTrace(
+                3,
+                4,
+                [
+                    ChurnEvent(epoch=1, node=0, up=False),
+                    ChurnEvent(epoch=2, node=0, up=False),
+                ],
+            )
+        with pytest.raises(DynamicsError, match="already"):
+            ScenarioTrace(3, 4, [ChurnEvent(epoch=1, node=0, up=True)])
+
+    def test_cannot_empty_the_system(self):
+        with pytest.raises(DynamicsError, match="no node up"):
+            ScenarioTrace(
+                2,
+                4,
+                [
+                    ChurnEvent(epoch=1, node=0, up=False),
+                    ChurnEvent(epoch=2, node=1, up=False),
+                ],
+            )
+
+    def test_factors_must_be_positive(self):
+        with pytest.raises(DynamicsError):
+            RttDriftEvent(epoch=0, factors=[1.0, 0.0])
+
+
+class TestStateFolding:
+    def test_values_carry_forward_and_flags_mark_changes(self, line_topology):
+        n = line_topology.n_nodes
+        caps = np.full(n, 0.5)
+        trace = ScenarioTrace(
+            n,
+            4,
+            [
+                RttDriftEvent(epoch=1, factors=np.full(n, 1.2)),
+                CapacityEvent(epoch=2, capacities=caps),
+                ChurnEvent(epoch=2, node=3, up=False),
+            ],
+        )
+        states = trace.states(line_topology)
+        assert states[0].rtt_changed and states[0].caps_changed
+        assert np.all(states[0].rtt_factors == 1.0)
+        assert states[1].rtt_changed and not states[1].caps_changed
+        assert states[2].caps_changed and states[2].churned
+        assert not states[3].rtt_changed
+        # values persist until overwritten
+        assert np.all(states[3].rtt_factors == 1.2)
+        assert np.all(states[3].capacities == 0.5)
+        assert not states[2].up[3] and not states[3].up[3]
+        assert states[1].up[3]
+
+    def test_segments_split_at_churn(self, line_topology):
+        trace = _mixed_trace(line_topology, n_epochs=6)
+        assert trace.segments() == [(0, 3), (3, 5), (5, 6)]
+
+    def test_no_op_event_does_not_flag_change(self, line_topology):
+        n = line_topology.n_nodes
+        trace = ScenarioTrace(
+            n, 3, [RttDriftEvent(epoch=1, factors=np.ones(n))]
+        )
+        assert not trace.states(line_topology)[1].rtt_changed
+
+    def test_effective_rtt_symmetric_zero_diagonal(self, line_topology):
+        factors = np.linspace(0.8, 1.4, line_topology.n_nodes)
+        rtt = effective_rtt(line_topology.rtt, factors)
+        assert np.allclose(rtt, rtt.T)
+        assert np.all(np.diag(rtt) == 0.0)
+
+
+class TestScenarioGenerators:
+    def test_deterministic_for_fixed_seed(self, line_topology):
+        for generator in (
+            diurnal_scenario,
+            flash_crowd_scenario,
+            partition_heal_scenario,
+        ):
+            a = generator(line_topology, 8, seed=3)
+            b = generator(line_topology, 8, seed=3)
+            assert len(a.events) == len(b.events)
+            for ea, eb in zip(a.events, b.events):
+                assert type(ea) is type(eb)
+                assert ea.epoch == eb.epoch
+
+    def test_diurnal_factors_positive_and_oscillating(self, line_topology):
+        trace = diurnal_scenario(line_topology, 12, seed=1, amplitude=0.4)
+        factor_stack = np.stack(
+            [e.factors for e in trace.events]
+        )
+        assert np.all(factor_stack > 0)
+        assert factor_stack.std() > 0.05  # actually oscillates
+
+    def test_flash_crowd_restores_base_capacities(self, line_topology):
+        trace = flash_crowd_scenario(
+            line_topology, 10, seed=2, depth=0.5, start=2, length=3
+        )
+        states = trace.states(line_topology)
+        assert np.all(states[1].capacities == line_topology.capacities)
+        assert states[2].capacities.min() == pytest.approx(0.5)
+        assert np.all(states[5].capacities == line_topology.capacities)
+
+    def test_partition_heal_round_trips_membership(self, line_topology):
+        trace = partition_heal_scenario(
+            line_topology, 9, seed=4, region_size=3, start=3, heal=6
+        )
+        states = trace.states(line_topology)
+        assert states[2].up.all()
+        assert states[3].up.sum() == line_topology.n_nodes - 3
+        assert states[6].up.all()
+        assert trace.segments() == [(0, 3), (3, 6), (6, 9)]
+
+    def test_flash_crowd_rejects_overlapping_waves(self, line_topology):
+        """A user-supplied wave length reaching into the next wave would
+        either collide with its crunch event or silently truncate a wave;
+        both are refused up front with an actionable message."""
+        with pytest.raises(DynamicsError, match="overlaps"):
+            flash_crowd_scenario(line_topology, 20, waves=2, length=10)
+        with pytest.raises(DynamicsError, match="overlaps"):
+            flash_crowd_scenario(line_topology, 20, waves=2, length=12)
+        # a single wave may run as long as it likes
+        flash_crowd_scenario(line_topology, 20, waves=1, length=18)
+
+    def test_mixed_scenario_is_shared_and_deterministic(self, line_topology):
+        """The CLI's --scenario mixed and fig_dyn replay one definition."""
+        from repro.dynamics.scenarios import mixed_scenario
+
+        a = mixed_scenario(line_topology, 8, seed=7)
+        b = mixed_scenario(line_topology, 8, seed=7)
+        assert len(a.events) == len(b.events)
+        assert len(a.segments()) == 3  # partition + heal included
+
+    def test_combine_rejects_mismatched_timelines(self, line_topology):
+        with pytest.raises(DynamicsError):
+            combine(
+                diurnal_scenario(line_topology, 8, seed=1),
+                diurnal_scenario(line_topology, 9, seed=1),
+            )
+
+    def test_combine_rejects_ambiguous_overlap(self, line_topology):
+        with pytest.raises(DynamicsError, match="ambiguous"):
+            combine(
+                diurnal_scenario(line_topology, 6, seed=1),
+                diurnal_scenario(line_topology, 6, seed=2),
+            )
+
+
+class TestPolicies:
+    def test_parse_specs(self):
+        assert isinstance(parse_policy("static"), StaticPolicy)
+        assert parse_policy("periodic:3") == PeriodicPolicy(3)
+        assert parse_policy("threshold:0.2") == ThresholdPolicy(0.2)
+        assert parse_policy("clairvoyant") == PeriodicPolicy(1)
+
+    def test_bad_specs_rejected(self):
+        for spec in (
+            "periodic", "periodic:x", "threshold:-1", "nope:1",
+            "threshold:nan", "threshold:inf",  # would never re-optimize
+        ):
+            with pytest.raises(DynamicsError):
+                parse_policy(spec)
+
+    def test_threshold_triggers_only_past_the_bound(self):
+        policy = ThresholdPolicy(0.10)
+        assert policy.should_reoptimize(0, 0.0, np.inf)
+        assert not policy.should_reoptimize(1, 104.0, 100.0)
+        assert policy.should_reoptimize(1, 111.0, 100.0)
+
+    def test_reopt_cadence_in_a_replay(self, clustered_topology):
+        n = clustered_topology.n_nodes
+        rng = np.random.default_rng(9)
+        trace = ScenarioTrace(
+            n,
+            6,
+            [
+                RttDriftEvent(
+                    epoch=t,
+                    factors=1.0 + 0.25 * rng.uniform(-1, 1, size=n),
+                )
+                for t in range(1, 6)
+            ],
+        )
+        result = replay(
+            clustered_topology,
+            GRID,
+            trace,
+            policies=("static", "periodic:2"),
+        )
+        assert result.series["static"].reopt_count == 1
+        periodic = result.series["periodic:2"]
+        assert list(periodic.reoptimized) == [
+            True, False, True, False, True, False,
+        ]
+        clair = result.series[CLAIRVOYANT]
+        assert clair.reopt_count == 6
+        # single segment: exactly one assembly each under incremental mode
+        assert int(clair.assemblies.sum()) == 1
+
+    def test_regret_is_non_negative_under_drift_and_churn(
+        self, clustered_topology
+    ):
+        """With capacities untouched, every policy's strategy is feasible
+        at every epoch, so the clairvoyant is a true per-epoch floor."""
+        n = clustered_topology.n_nodes
+        rng = np.random.default_rng(9)
+        events: list = [
+            RttDriftEvent(
+                epoch=t, factors=1.0 + 0.3 * rng.uniform(-1, 1, size=n)
+            )
+            for t in range(1, 6)
+        ]
+        events.append(ChurnEvent(epoch=3, node=n - 1, up=False))
+        trace = ScenarioTrace(n, 6, events)
+        result = replay(
+            clustered_topology,
+            GRID,
+            trace,
+            policies=("static", "threshold:0.05"),
+        )
+        for spec in result.policies:
+            assert np.all(result.regret(spec) >= -1e-9)
+            assert result.series[spec].max_overload.max() <= 1e-9
+
+    def test_stale_strategy_overloads_through_a_crunch(
+        self, clustered_topology
+    ):
+        """During a capacity crunch the static policy keeps its stale
+        strategy — possibly cheaper on raw delay, but only by violating
+        the tightened capacities, which the overload series exposes while
+        the re-optimizer stays (numerically) feasible."""
+        n = clustered_topology.n_nodes
+        crunched = np.full(n, 0.8)
+        trace = ScenarioTrace(
+            n,
+            4,
+            [
+                CapacityEvent(epoch=1, capacities=crunched),
+                CapacityEvent(epoch=3, capacities=np.ones(n)),
+            ],
+        )
+        result = replay(
+            clustered_topology, GRID, trace, policies=("static",)
+        )
+        static = result.series["static"]
+        clair = result.series[CLAIRVOYANT]
+        assert static.max_overload[1:3].max() > 1e-6
+        assert clair.max_overload.max() <= 1e-6
+
+    def test_infeasible_epochs_recorded_and_recovered(
+        self, clustered_topology
+    ):
+        n = clustered_topology.n_nodes
+        starved = np.full(n, 0.05)  # far below any feasible profile
+        trace = ScenarioTrace(
+            n,
+            4,
+            [
+                CapacityEvent(epoch=1, capacities=starved),
+                CapacityEvent(epoch=3, capacities=np.ones(n)),
+            ],
+        )
+        result = replay(
+            clustered_topology, GRID, trace, policies=(CLAIRVOYANT,),
+            include_clairvoyant=False,
+        )
+        series = result.series[CLAIRVOYANT]
+        assert list(series.infeasible) == [False, True, True, False]
+        assert list(series.reoptimized) == [True, False, False, True]
+        # the carried strategy keeps being evaluated through the outage
+        assert np.all(np.isfinite(series.expected_delay))
+
+
+class TestReplayValidation:
+    def test_unknown_mode(self, clustered_topology):
+        trace = ScenarioTrace(clustered_topology.n_nodes, 2)
+        with pytest.raises(DynamicsError):
+            replay(clustered_topology, GRID, trace, mode="lukewarm")
+
+    def test_needs_a_policy(self, clustered_topology):
+        trace = ScenarioTrace(clustered_topology.n_nodes, 2)
+        with pytest.raises(DynamicsError):
+            replay(
+                clustered_topology, GRID, trace, policies=(),
+                include_clairvoyant=False,
+            )
+
+    def test_periodic_one_folds_into_clairvoyant(self, clustered_topology):
+        """periodic:1 *is* the per-epoch re-optimizer: listing it must not
+        replay the same policy twice under two names (or collide with the
+        auto-added baseline)."""
+        trace = ScenarioTrace(clustered_topology.n_nodes, 2)
+        result = replay(
+            clustered_topology, GRID, trace,
+            policies=("periodic:1", CLAIRVOYANT),
+        )
+        assert set(result.series) == {CLAIRVOYANT}
+        assert np.all(result.regret(CLAIRVOYANT) == 0.0)
+
+    def test_runner_jobs_conflict_raises(self, clustered_topology):
+        from repro.errors import ReproError
+
+        trace = ScenarioTrace(clustered_topology.n_nodes, 2)
+        with GridRunner() as runner:
+            with pytest.raises(ReproError, match="jobs"):
+                replay(
+                    clustered_topology, GRID, trace, runner=runner, jobs=4
+                )
+
+    def test_runner_cache_attached_and_conflicts_raise(
+        self, clustered_topology, tmp_path
+    ):
+        trace = ScenarioTrace(clustered_topology.n_nodes, 2)
+        cache = ResultCache(tmp_path / "a")
+        with GridRunner() as runner:
+            replay(clustered_topology, GRID, trace, runner=runner,
+                   cache=cache)
+            assert runner.cache is None  # detached after the call
+            assert cache.stores > 0
+        from repro.errors import ReproError
+
+        other = ResultCache(tmp_path / "b")
+        with GridRunner(cache=cache) as runner:
+            with pytest.raises(ReproError, match="cache"):
+                replay(clustered_topology, GRID, trace, runner=runner,
+                       cache=other)
+
+    def test_trace_topology_size_mismatch(self, clustered_topology):
+        trace = ScenarioTrace(clustered_topology.n_nodes + 1, 2)
+        with pytest.raises(DynamicsError):
+            replay(clustered_topology, GRID, trace)
+
+
+def _assert_series_identical(a, b) -> None:
+    assert np.array_equal(a.expected_delay, b.expected_delay)
+    assert np.array_equal(a.reoptimized, b.reoptimized)
+    assert np.array_equal(a.infeasible, b.infeasible)
+    assert np.array_equal(a.max_overload, b.max_overload)
+    assert np.array_equal(a.lp_solves, b.lp_solves)
+    assert np.array_equal(a.assemblies, b.assemblies)
+
+
+class TestReplayDeterminism:
+    """ISSUE acceptance: jobs=N bit-identical to jobs=1, both backends."""
+
+    POLICIES = ("static", "threshold:0.05")
+
+    @pytest.mark.parametrize("backend_env", BACKENDS)
+    def test_jobs_2_bit_identical_to_jobs_1(
+        self, clustered_topology, monkeypatch, backend_env
+    ):
+        _force_backend(monkeypatch, backend_env)
+        trace = _mixed_trace(clustered_topology)
+        serial = replay(
+            clustered_topology, GRID, trace, policies=self.POLICIES
+        )
+        with GridRunner(jobs=2) as runner:
+            parallel = replay(
+                clustered_topology, GRID, trace, policies=self.POLICIES,
+                runner=runner,
+            )
+        assert set(serial.series) == set(parallel.series)
+        for spec in serial.series:
+            _assert_series_identical(
+                serial.series[spec], parallel.series[spec]
+            )
+        for a, b in zip(serial.placements, parallel.placements):
+            assert np.array_equal(a, b)
+
+    def test_repeated_replays_identical(self, clustered_topology):
+        trace = _mixed_trace(clustered_topology)
+        first = replay(clustered_topology, GRID, trace)
+        second = replay(clustered_topology, GRID, trace)
+        for spec in first.series:
+            _assert_series_identical(
+                first.series[spec], second.series[spec]
+            )
+
+    def test_cache_round_trip_bit_identical(
+        self, clustered_topology, tmp_path
+    ):
+        trace = _mixed_trace(clustered_topology)
+        cache = ResultCache(tmp_path / "dyn")
+        first = replay(clustered_topology, GRID, trace, cache=cache)
+        stores = cache.stores
+        assert stores > 0
+        second = replay(clustered_topology, GRID, trace, cache=cache)
+        assert cache.stores == stores  # every point answered from cache
+        assert cache.hits >= stores
+        for spec in first.series:
+            _assert_series_identical(
+                first.series[spec], second.series[spec]
+            )
+
+
+class TestIncrementalVsCold:
+    """ISSUE acceptance: incremental strategy objectives within 1e-9 of
+    cold re-assembly at every epoch, on both LP backends.
+
+    The clairvoyant policy re-optimizes at *every* epoch, so its delay
+    series is exactly the per-epoch sequence of strategy-LP objectives —
+    the every-epoch comparison the acceptance bar names. Policies that
+    carry a strategy across epochs are compared at their re-optimization
+    epochs: between solves the two modes legitimately hold different
+    (equal-objective) vertices of degenerate optima, whose *evaluations*
+    under later drifted delays may differ beyond solver tolerance.
+    """
+
+    @pytest.mark.parametrize("backend_env", BACKENDS)
+    def test_clairvoyant_objectives_match_every_epoch(
+        self, clustered_topology, monkeypatch, backend_env
+    ):
+        _force_backend(monkeypatch, backend_env)
+        trace = _mixed_trace(clustered_topology)
+        kwargs = dict(policies=(CLAIRVOYANT,), include_clairvoyant=False)
+        warm = replay(
+            clustered_topology, GRID, trace, mode="incremental", **kwargs
+        )
+        cold = replay(clustered_topology, GRID, trace, mode="cold", **kwargs)
+        gap = np.abs(
+            warm.series[CLAIRVOYANT].expected_delay
+            - cold.series[CLAIRVOYANT].expected_delay
+        )
+        assert gap.max() <= 1e-9
+        # and the cold baseline really does reassemble per epoch
+        assert int(cold.series[CLAIRVOYANT].assemblies.sum()) == trace.n_epochs
+        assert (
+            int(warm.series[CLAIRVOYANT].assemblies.sum())
+            == len(trace.segments())
+        )
+
+    @pytest.mark.parametrize("backend_env", BACKENDS)
+    def test_policy_objectives_match_at_reopt_epochs(
+        self, clustered_topology, monkeypatch, backend_env
+    ):
+        _force_backend(monkeypatch, backend_env)
+        trace = _mixed_trace(clustered_topology)
+        kwargs = dict(
+            policies=("static", "periodic:2", "threshold:0.05"),
+            include_clairvoyant=False,
+        )
+        warm = replay(
+            clustered_topology, GRID, trace, mode="incremental", **kwargs
+        )
+        cold = replay(clustered_topology, GRID, trace, mode="cold", **kwargs)
+        for spec in warm.series:
+            a, b = warm.series[spec], cold.series[spec]
+            assert np.array_equal(a.reoptimized, b.reoptimized)
+            solved = a.reoptimized
+            assert solved.any()
+            gap = np.abs(
+                a.expected_delay[solved] - b.expected_delay[solved]
+            )
+            assert gap.max() <= 1e-9

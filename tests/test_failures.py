@@ -53,6 +53,57 @@ class TestFailureSchedule:
             CrashWindow(0, -1.0, 5.0)
 
 
+class TestCanonicalMerge:
+    """Overlapping/duplicate windows per node collapse into one maximal
+    interval, so schedules composed from several sources behave as the
+    union of their downtime."""
+
+    def test_duplicates_collapse(self):
+        schedule = FailureSchedule(
+            [CrashWindow(1, 10.0, 20.0), CrashWindow(1, 10.0, 20.0)]
+        )
+        assert schedule.windows == (CrashWindow(1, 10.0, 20.0),)
+        assert schedule.downtime(1, 100.0) == pytest.approx(10.0)
+
+    def test_overlap_merges_and_downtime_not_double_counted(self):
+        schedule = FailureSchedule()
+        schedule.add(2, 0.0, 100.0)
+        schedule.add(2, 50.0, 150.0)  # overlaps the first window
+        assert schedule.windows == (CrashWindow(2, 0.0, 150.0),)
+        assert schedule.downtime(2, 1000.0) == pytest.approx(150.0)
+
+    def test_adjacent_windows_coalesce(self):
+        """[a, b) + [b, c) is one outage — the node never actually came
+        back up at b, so no recovery/crash double-toggle can occur there."""
+        schedule = FailureSchedule(
+            [CrashWindow(0, 0.0, 50.0), CrashWindow(0, 50.0, 80.0)]
+        )
+        assert schedule.windows == (CrashWindow(0, 0.0, 80.0),)
+        assert schedule.is_down(0, 50.0)
+
+    def test_bridging_window_swallows_neighbors(self):
+        schedule = FailureSchedule(
+            [CrashWindow(3, 0.0, 10.0), CrashWindow(3, 20.0, 30.0)]
+        )
+        schedule.add(3, 5.0, 25.0)
+        assert schedule.windows == (CrashWindow(3, 0.0, 30.0),)
+
+    def test_distinct_nodes_and_gaps_stay_separate(self):
+        schedule = FailureSchedule(
+            [
+                CrashWindow(1, 0.0, 10.0),
+                CrashWindow(2, 0.0, 10.0),
+                CrashWindow(1, 50.0, 60.0),
+            ]
+        )
+        assert schedule.windows == (
+            CrashWindow(1, 0.0, 10.0),
+            CrashWindow(1, 50.0, 60.0),
+            CrashWindow(2, 0.0, 10.0),
+        )
+        assert not schedule.is_down(1, 30.0)
+
+
 class TestFailureInjection:
     def test_requires_timeout(self, maj_placed):
         schedule = FailureSchedule([CrashWindow(0, 0.0, 100.0)])
