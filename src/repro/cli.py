@@ -45,7 +45,12 @@ from repro.dynamics.scenarios import (
 )
 from repro.errors import ReproError
 from repro.experiments.registry import FIGURES, run_figure
-from repro.network.datasets import available_topologies, load_topology
+from repro.network.datasets import (
+    available_topologies,
+    load_topology,
+    topology_sites,
+)
+from repro.placement.hierarchical import hierarchical_best_placement
 from repro.placement.many_to_one import best_many_to_one_placement
 from repro.placement.search import best_placement
 from repro.quorums.grid import GridQuorumSystem
@@ -90,8 +95,18 @@ def parse_system(spec: str):
     )
 
 
+#: Listing stats are only computed for topologies at most this large; the
+#: scale presets materialize O(n^2) matrices, and ``topologies`` must stay
+#: instant. Matches the hierarchical search's exact-search threshold.
+_STATS_MAX_SITES = 200
+
+
 def _cmd_topologies(_args) -> int:
     for name in available_topologies():
+        n_sites = topology_sites(name)
+        if n_sites > _STATS_MAX_SITES:
+            print(f"{name:>14}: {n_sites:4d} sites (generated on demand)")
+            continue
         topo = load_topology(name)
         median_avg = topo.mean_distances()[topo.median()]
         print(
@@ -173,6 +188,20 @@ def _cmd_plan(args) -> int:
         strategy, strategy_name = (
             ExplicitStrategy.uniform(placed),
             "balanced (many-to-one)",
+        )
+    elif args.hierarchical:
+        search = hierarchical_best_placement(
+            topology, system, jobs=args.jobs
+        )
+        placed = search.placed
+        placement_kind = (
+            "one-to-one (exhaustive search)"
+            if search.exhaustive
+            else "one-to-one (hierarchical, "
+            f"{search.n_candidates}/{search.n_sites} candidates)"
+        )
+        strategy, strategy_name = _pick_strategy(
+            placed, args.strategy, alpha
         )
     else:
         placed = best_placement(topology, system, jobs=args.jobs).placed
@@ -302,6 +331,11 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--many-to-one", type=float, default=None,
                       metavar="CAP",
                       help="use the many-to-one pipeline with this uniform capacity")
+    plan.add_argument("--hierarchical", action="store_true",
+                      help="cluster-medoid candidate search — required "
+                      "reading for the wan-* presets, where exhaustive "
+                      "search evaluates every one of thousands of sites "
+                      "(exact below 200 sites either way)")
     plan.add_argument("--jobs", type=int, default=1, metavar="N",
                       help="worker processes for the placement search "
                       "(0 = all cores)")

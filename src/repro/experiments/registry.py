@@ -22,6 +22,7 @@ from repro.experiments import (
     fig_7_8,
     fig_8_9,
     fig_dyn,
+    fig_scale,
 )
 from repro.experiments.series import FigureResult
 from repro.runtime.cache import ResultCache
@@ -41,6 +42,7 @@ FIGURES: dict[str, Callable[..., FigureResult]] = {
     "fig_7_8": fig_7_8.run,
     "fig_8_9": fig_8_9.run,
     "fig_dyn": fig_dyn.run,
+    "fig_scale": fig_scale.run,
 }
 
 

@@ -23,14 +23,22 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.errors import TopologyError
-from repro.network.generators import ClusterSpec, generate_cluster_topology
+from repro.network.generators import (
+    ClusterSpec,
+    generate_cluster_topology,
+    synthetic_wan,
+)
 from repro.network.graph import Topology
 
 __all__ = [
     "planetlab_50",
     "daxlist_161",
+    "wan_1000",
+    "wan_2000",
+    "wan_5000",
     "load_topology",
     "available_topologies",
+    "topology_sites",
 ]
 
 #: Continental clusters approximating the 2006 PlanetLab population.
@@ -101,9 +109,30 @@ def daxlist_161(seed: int = 161) -> Topology:
     )
 
 
-_REGISTRY: dict[str, Callable[[], Topology]] = {
-    "planetlab-50": planetlab_50,
-    "daxlist-161": daxlist_161,
+def wan_1000(seed: int | None = None) -> Topology:
+    """1000-site scale preset (see :func:`repro.network.generators.synthetic_wan`)."""
+    return synthetic_wan(1000, seed=seed)
+
+
+def wan_2000(seed: int | None = None) -> Topology:
+    """2000-site scale preset — the ROADMAP's fig_7-class sweep target."""
+    return synthetic_wan(2000, seed=seed)
+
+
+def wan_5000(seed: int | None = None) -> Topology:
+    """5000-site scale preset (200 MB delay matrix; generate on demand)."""
+    return synthetic_wan(5000, seed=seed)
+
+
+#: name -> (site count, factory). The count is exposed without generating
+#: the topology: the scale presets materialize O(n^2) matrices, so
+#: listings must not have to build them just to say how big they are.
+_REGISTRY: dict[str, tuple[int, Callable[[], Topology]]] = {
+    "planetlab-50": (50, planetlab_50),
+    "daxlist-161": (161, daxlist_161),
+    "wan-1000": (1000, wan_1000),
+    "wan-2000": (2000, wan_2000),
+    "wan-5000": (5000, wan_5000),
 }
 
 
@@ -112,10 +141,20 @@ def available_topologies() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
-def load_topology(name: str) -> Topology:
-    """Load a bundled topology by name (``planetlab-50`` or ``daxlist-161``)."""
+def topology_sites(name: str) -> int:
+    """Site count of a bundled topology, without generating it."""
     try:
-        factory = _REGISTRY[name]
+        return _REGISTRY[name][0]
+    except KeyError:
+        raise TopologyError(
+            f"unknown topology {name!r}; available: {available_topologies()}"
+        ) from None
+
+
+def load_topology(name: str) -> Topology:
+    """Load a bundled topology by name (see :func:`available_topologies`)."""
+    try:
+        _, factory = _REGISTRY[name]
     except KeyError:
         raise TopologyError(
             f"unknown topology {name!r}; available: {available_topologies()}"

@@ -25,7 +25,12 @@ from repro.errors import TopologyError
 from repro.network.geo import pairwise_great_circle_km, propagation_rtt_ms
 from repro.network.graph import Topology
 
-__all__ = ["ClusterSpec", "generate_cluster_topology"]
+__all__ = [
+    "ClusterSpec",
+    "WAN_CLUSTERS",
+    "generate_cluster_topology",
+    "synthetic_wan",
+]
 
 
 @dataclass(frozen=True)
@@ -67,8 +72,17 @@ def _allocate_sites(
     """Split ``n_sites`` across clusters proportionally to their weights.
 
     Largest-remainder apportionment; every cluster receives at least one
-    site when ``n_sites >= len(clusters)``.
+    site. Remainder ties break toward the lower-index cluster (Python's
+    sort is stable), so the split is a pure function of the inputs.
+    Fewer sites than clusters would silently leave clusters empty —
+    contradicting the spec that names them — so that raises instead.
     """
+    if n_sites < len(clusters):
+        raise TopologyError(
+            f"cannot allocate {n_sites} site(s) across "
+            f"{len(clusters)} clusters; every cluster needs at least one "
+            "site — drop clusters or raise n_sites"
+        )
     total = sum(c.weight for c in clusters)
     raw = [n_sites * c.weight / total for c in clusters]
     counts = [int(x) for x in raw]
@@ -78,13 +92,12 @@ def _allocate_sites(
         range(len(clusters)), key=lambda i: remainders[i], reverse=True
     )[:shortfall]:
         counts[i] += 1
-    if n_sites >= len(clusters):
-        # Ensure no cluster is empty: steal from the largest cluster.
-        for i, count in enumerate(counts):
-            if count == 0:
-                donor = max(range(len(counts)), key=lambda j: counts[j])
-                counts[donor] -= 1
-                counts[i] += 1
+    # Ensure no cluster is empty: steal from the largest cluster.
+    for i, count in enumerate(counts):
+        if count == 0:
+            donor = max(range(len(counts)), key=lambda j: counts[j])
+            counts[donor] -= 1
+            counts[i] += 1
     return counts
 
 
@@ -96,6 +109,7 @@ def generate_cluster_topology(
     access_delay_ms_range: tuple[float, float] = (0.3, 3.0),
     jitter_ms: float = 1.0,
     min_rtt_ms: float = 0.5,
+    metric_closure: bool = True,
 ) -> Topology:
     """Generate a deterministic synthetic wide-area topology.
 
@@ -117,6 +131,12 @@ def generate_cluster_topology(
         Scale of per-pair exponential measurement noise.
     min_rtt_ms:
         Lower clamp for off-diagonal RTTs.
+    metric_closure:
+        Whether to apply the all-pairs shortest-path closure. The closure
+        is O(n^3) — fine for the paper-scale datasets, prohibitive for
+        multi-thousand-site topologies, where the scale presets disable
+        it (the raw cluster-model RTTs are near-metric already; only the
+        approximation-factor proofs need an exact metric).
 
     Returns
     -------
@@ -169,4 +189,49 @@ def generate_cluster_topology(
     rtt = np.maximum(rtt, min_rtt_ms)
     np.fill_diagonal(rtt, 0.0)
 
-    return Topology(rtt, names=names, metric_closure=True)
+    return Topology(rtt, names=names, metric_closure=metric_closure)
+
+
+#: Global metro clusters for the scale presets: the continental mix of
+#: PLANETLAB_CLUSTERS widened to the hosting regions real multi-thousand
+#: site deployments draw candidates from (more metros, heavier tails).
+WAN_CLUSTERS: list[ClusterSpec] = [
+    ClusterSpec("us-east", 39.0, -77.5, 3.0, 0.16),
+    ClusterSpec("us-central", 41.9, -87.9, 3.0, 0.08),
+    ClusterSpec("us-west", 37.4, -122.0, 3.0, 0.12),
+    ClusterSpec("brazil", -23.5, -46.6, 2.5, 0.04),
+    ClusterSpec("eu-west", 51.5, -0.1, 3.0, 0.12),
+    ClusterSpec("eu-central", 50.1, 8.7, 3.0, 0.10),
+    ClusterSpec("eu-north", 59.3, 18.1, 2.5, 0.03),
+    ClusterSpec("india", 19.1, 72.9, 3.0, 0.06),
+    ClusterSpec("asia-se", 1.3, 103.8, 2.5, 0.06),
+    ClusterSpec("asia-east", 35.7, 139.7, 3.5, 0.10),
+    ClusterSpec("asia-ne", 37.6, 126.9, 2.0, 0.04),
+    ClusterSpec("oceania", -33.9, 151.2, 2.5, 0.04),
+    ClusterSpec("africa-south", -26.2, 28.0, 2.0, 0.03),
+    ClusterSpec("middle-east", 25.2, 55.3, 2.0, 0.02),
+]
+
+
+def synthetic_wan(n_sites: int, seed: int | None = None) -> Topology:
+    """A large synthetic WAN drawn from :data:`WAN_CLUSTERS`.
+
+    The scale counterpart of the bundled paper datasets: same cluster
+    model, more metros, and **no metric closure** — the O(n^3) closure is
+    what makes paper-scale generation cheap and 5000-site generation
+    impossible, and the placement algorithms only read distances. The
+    default seed is derived from ``n_sites`` so each preset size is one
+    canonical topology (``synthetic_wan(2000)`` is always the same
+    matrix).
+    """
+    if seed is None:
+        seed = 10_000 + n_sites
+    return generate_cluster_topology(
+        n_sites=n_sites,
+        clusters=WAN_CLUSTERS,
+        seed=seed,
+        inflation_range=(1.25, 1.9),
+        access_delay_ms_range=(0.3, 2.0),
+        jitter_ms=0.8,
+        metric_closure=False,
+    )

@@ -100,6 +100,56 @@ class Topology:
         self._capacities = caps
         self._capacities.setflags(write=False)
 
+    @classmethod
+    def adopt(
+        cls,
+        rtt: np.ndarray,
+        names: Sequence[str],
+        capacities: np.ndarray,
+    ) -> "Topology":
+        """Wrap an already-validated RTT matrix without copying it.
+
+        The normal constructor symmetrizes and (by default) metric-closes
+        its input, which allocates a fresh O(n^2) matrix — exactly what a
+        worker rehydrating a topology from a shared-memory block must not
+        do. ``adopt`` trusts the caller: the matrix must have been produced
+        by a :class:`Topology` (symmetrized, zero diagonal, closure already
+        applied or deliberately skipped) and is stored as-is, marked
+        read-only. Only O(n) shape checks are performed.
+        """
+        matrix = np.asarray(rtt)
+        if matrix.dtype != np.float64:
+            raise TopologyError(
+                f"adopt requires a float64 RTT matrix, got {matrix.dtype}"
+            )
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise TopologyError(
+                f"RTT matrix must be square, got shape {matrix.shape}"
+            )
+        n = matrix.shape[0]
+        if n == 0:
+            raise TopologyError("topology must contain at least one node")
+        matrix.setflags(write=False)
+
+        names = list(names)
+        if len(names) != n:
+            raise TopologyError(f"expected {n} node names, got {len(names)}")
+        if len(set(names)) != n:
+            raise TopologyError("node names must be unique")
+
+        caps = np.asarray(capacities, dtype=np.float64)
+        if caps.shape != (n,):
+            raise TopologyError(
+                f"expected {n} capacities, got shape {caps.shape}"
+            )
+        caps.setflags(write=False)
+
+        obj = cls.__new__(cls)
+        obj._rtt = matrix
+        obj._names = tuple(names)
+        obj._capacities = caps
+        return obj
+
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------

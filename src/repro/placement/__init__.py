@@ -14,8 +14,11 @@ many-to-one placements trade fault tolerance for delay:
 * :func:`~repro.placement.many_to_one.many_to_one_placement` — LP relaxation,
   Lin–Vitter filtering, Shmoys–Tardos GAP rounding;
 
-and :func:`~repro.placement.search.best_placement` wraps the paper's
-"run the single-client algorithm from every node, keep the best" recipe.
+:func:`~repro.placement.search.best_placement` wraps the paper's
+"run the single-client algorithm from every node, keep the best" recipe,
+and :func:`~repro.placement.hierarchical.hierarchical_best_placement`
+scales it to multi-thousand-node topologies (cluster medoids first, then
+refine the best clusters; exact below 200 sites).
 """
 
 from repro.placement.filtering import lin_vitter_filter
@@ -27,6 +30,12 @@ from repro.placement.fractional import (
     fractional_placement_loop,
 )
 from repro.placement.gap import round_fractional_placement
+from repro.placement.hierarchical import (
+    ClusterModel,
+    HierarchicalSearchResult,
+    cluster_sites,
+    hierarchical_best_placement,
+)
 from repro.placement.many_to_one import (
     best_many_to_one_placement,
     many_to_one_placement,
@@ -55,4 +64,8 @@ __all__ = [
     "best_many_to_one_placement",
     "best_placement",
     "PlacementSearchResult",
+    "ClusterModel",
+    "HierarchicalSearchResult",
+    "cluster_sites",
+    "hierarchical_best_placement",
 ]

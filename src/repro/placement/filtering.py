@@ -56,11 +56,15 @@ def lin_vitter_filter(
         raise PlacementError("fractional placement rows must sum to one")
 
     fractional_distance = frac @ dist
-    # Nodes within the filtering radius of each element. Elements whose
-    # fractional distance is ~0 sit entirely on distance-0 nodes; keep any
-    # node at distance 0 for them (the tolerance guards float dust).
-    radius = (1.0 + eps) * fractional_distance
-    keep = dist[None, :] <= radius[:, None] + 1e-12
+    # Nodes within the filtering radius of each element. The tolerance is
+    # *relative*: an absolute slack (the old ``+ 1e-12``) is invisible at
+    # planet-scale RTTs (~1e2 ms, where float dust is ~1e-14 of the
+    # radius) yet dominates rows whose distances are themselves ~1e-12.
+    # Clamping the radius at zero keeps exact-0 nodes for elements whose
+    # fractional distance is 0 (or tiny-negative LP dust) — those sit
+    # entirely on distance-0 nodes and must not lose all mass.
+    radius = np.maximum((1.0 + eps) * fractional_distance, 0.0)
+    keep = dist[None, :] <= radius[:, None] * (1.0 + 1e-9)
     filtered = np.where(keep, frac, 0.0)
     new_sums = filtered.sum(axis=1)
     if np.any(new_sums <= 0):

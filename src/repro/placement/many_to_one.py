@@ -45,6 +45,7 @@ from repro.lp import lp_backend_name
 from repro.runtime.cache import system_fingerprint, topology_fingerprint
 from repro.runtime.grid import GridPoint
 from repro.runtime.runner import in_worker, worker_memo
+from repro.runtime.shm import resolve_topology
 
 __all__ = [
     "many_to_one_placement",
@@ -143,7 +144,7 @@ def _worker_family(
 
 
 def _many_to_one_candidate(
-    topology: Topology,
+    topology: object,
     system: QuorumSystem,
     v0: int,
     capacities: np.ndarray | None,
@@ -156,13 +157,17 @@ def _many_to_one_candidate(
     """``(assignment, delay)`` for one candidate, or None if infeasible.
 
     Module-level and self-contained so the best-``v0`` search can fan
-    candidates out over a process pool. Inside a pool worker the batched
-    path pulls the candidate's program from the worker-local family cache,
-    so repeated searches (the iterative algorithm's per-iteration fan-out)
-    re-solve assembled programs warm instead of rebuilding them cold per
-    task; canonical (anchored) solves keep the result a pure function of
-    the arguments either way.
+    candidates out over a process pool; ``topology`` may be a
+    :class:`~repro.runtime.shm.TopologyHandle`, which resolves to a
+    zero-copy shared-memory view once per worker instead of a per-task
+    unpickled matrix. Inside a pool worker the batched path pulls the
+    candidate's program from the worker-local family cache, so repeated
+    searches (the iterative algorithm's per-iteration fan-out) re-solve
+    assembled programs warm instead of rebuilding them cold per task;
+    canonical (anchored) solves keep the result a pure function of the
+    arguments either way.
     """
+    topology = resolve_topology(topology)
     if program is None and fractional == "batched" and in_worker():
         program = _worker_family(topology, system).program(v0)
     try:
@@ -242,14 +247,17 @@ def best_many_to_one_placement(
     if parallel:
         # Tags carry (position, v0): the position keeps duplicate
         # candidates legal under the unique-tag rule, the v0 makes a
-        # failed evaluation's ReproError name the actual candidate.
+        # failed evaluation's ReproError name the actual candidate. The
+        # topology ships as a shared-memory handle (when available), so
+        # each point's payload is O(n), not O(n^2).
+        ship = runner.ship(topology)
         results = runner.run(
             [
                 GridPoint(
                     tag=(i, v0),
                     fn=_many_to_one_candidate,
                     kwargs={
-                        "topology": topology,
+                        "topology": ship,
                         "system": system,
                         "v0": v0,
                         "capacities": capacities,

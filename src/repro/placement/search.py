@@ -30,6 +30,7 @@ from repro.quorums.base import QuorumSystem
 from repro.quorums.threshold import ThresholdQuorumSystem
 from repro.runtime.grid import GridPoint
 from repro.runtime.runner import GridRunner
+from repro.runtime.shm import resolve_topology
 
 __all__ = ["PlacementSearchResult", "best_placement", "uniform_strategy_for"]
 
@@ -61,7 +62,7 @@ class PlacementSearchResult:
 
 
 def _candidate_delay(
-    topology: Topology,
+    topology: object,
     system: QuorumSystem,
     v0: int,
     clients: object,
@@ -70,8 +71,12 @@ def _candidate_delay(
     """Average network delay of ``v0``'s placement, or None if infeasible.
 
     Module-level so the best-``v0`` search can fan candidates out over a
-    process pool.
+    process pool. ``topology`` may be a
+    :class:`~repro.runtime.shm.TopologyHandle`: parallel dispatch ships
+    the shared-memory handle instead of pickling the delay matrix per
+    candidate, and workers rehydrate a zero-copy view once per topology.
     """
+    topology = resolve_topology(topology)
     try:
         placement = one_to_one_placement(
             topology, system, v0, respect_capacities=respect_capacities
@@ -128,26 +133,32 @@ def best_placement(
     if candidate_idx.size == 0:
         raise PlacementError("candidate set must be non-empty")
 
-    evaluate_one = partial(
-        _candidate_delay,
-        topology,
-        system,
-        clients=clients,
-        respect_capacities=respect_capacities,
-    )
     v0_list = [int(v0) for v0 in candidate_idx]
-    # Tags carry (position, v0): the position keeps duplicate candidates
-    # legal under the unique-tag rule, the v0 makes a failed evaluation's
-    # ReproError name the actual candidate.
-    points = [
-        GridPoint(tag=(i, v0), fn=evaluate_one, kwargs={"v0": v0})
-        for i, v0 in enumerate(v0_list)
-    ]
+
+    def _points(ship: object) -> list[GridPoint]:
+        # ``ship`` is what actually crosses the process boundary: the
+        # topology itself on inline paths, a shared-memory handle when the
+        # runner dispatches to workers (so no point pickles the delay
+        # matrix). Tags carry (position, v0): the position keeps duplicate
+        # candidates legal under the unique-tag rule, the v0 makes a
+        # failed evaluation's ReproError name the actual candidate.
+        evaluate_one = partial(
+            _candidate_delay,
+            ship,
+            system,
+            clients=clients,
+            respect_capacities=respect_capacities,
+        )
+        return [
+            GridPoint(tag=(i, v0), fn=evaluate_one, kwargs={"v0": v0})
+            for i, v0 in enumerate(v0_list)
+        ]
+
     if runner is not None:
-        results = runner.run(points)
+        results = runner.run(_points(runner.ship(topology)))
     else:
         with GridRunner(jobs=jobs) as own_runner:
-            results = own_runner.run(points)
+            results = own_runner.run(_points(own_runner.ship(topology)))
     candidate_delays = [
         results[(i, v0)] for i, v0 in enumerate(v0_list)
     ]

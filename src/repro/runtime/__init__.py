@@ -16,7 +16,11 @@ winner. This package provides the machinery every such workload shares:
   searches) uses exactly one pool;
 * :mod:`repro.runtime.cache` — :class:`ResultCache`, an on-disk cache keyed
   by a content hash of each point's inputs, so repeated sweeps (benchmarks,
-  figure regeneration, CI) skip work that has already been done.
+  figure regeneration, CI) skip work that has already been done;
+* :mod:`repro.runtime.shm` — :class:`TopologyBroker`, which publishes a
+  topology's O(n^2) delay matrix into one shared-memory block per content
+  fingerprint so parallel candidate searches ship a tiny handle per grid
+  point instead of pickling the matrix per task.
 
 ``python -m repro figure`` and ``python -m repro.experiments`` surface the
 runtime through ``--jobs`` and ``--no-cache`` flags.
@@ -31,14 +35,24 @@ from repro.runtime.cache import (
 )
 from repro.runtime.grid import GridPoint, GridSpec
 from repro.runtime.runner import GridRunner
+from repro.runtime.shm import (
+    TopologyBroker,
+    TopologyHandle,
+    resolve_topology,
+    shm_available,
+)
 
 __all__ = [
     "GridPoint",
     "GridSpec",
     "GridRunner",
     "ResultCache",
+    "TopologyBroker",
+    "TopologyHandle",
     "content_key",
     "default_cache_dir",
+    "resolve_topology",
+    "shm_available",
     "system_fingerprint",
     "topology_fingerprint",
 ]

@@ -22,6 +22,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import weakref
 from pathlib import Path
 from typing import Any
 
@@ -62,7 +63,12 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: order, and the serial many-to-one search went family-warm — so tied
 #: optima now break differently than under v3's chained-warm/cold mix
 #: (and identically across schedules, which is the point).
-CACHE_SCHEMA_VERSION = 4
+#:
+#: v5: Lin–Vitter filtering's keep-tolerance became relative to the row's
+#: filtering radius (was an absolute ``+ 1e-12``), so borderline nodes at
+#: planet-scale or micro-scale distances can filter differently, changing
+#: rounded many-to-one placements behind cached entries.
+CACHE_SCHEMA_VERSION = 5
 
 
 def default_cache_dir() -> Path:
@@ -137,8 +143,21 @@ def content_key(**components: Any) -> str:
     return hasher.hexdigest()
 
 
+#: Per-object fingerprint memo. Topology arrays are immutable (read-only
+#: numpy flags), so hashing the O(n^2) matrix once per object is safe —
+#: and matters at scale, where every worker task would otherwise re-hash
+#: a multi-thousand-node matrix just to key its program cache.
+_TOPOLOGY_FP_MEMO: "weakref.WeakKeyDictionary[Topology, str]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def topology_fingerprint(topology: Topology) -> str:
     """Digest of everything response times can depend on in a topology."""
+    try:
+        return _TOPOLOGY_FP_MEMO[topology]
+    except KeyError:
+        pass
     hasher = hashlib.sha256()
     _feed(
         hasher,
@@ -148,7 +167,9 @@ def topology_fingerprint(topology: Topology) -> str:
             "names": list(topology.names),
         },
     )
-    return hasher.hexdigest()
+    digest = hasher.hexdigest()
+    _TOPOLOGY_FP_MEMO[topology] = digest
+    return digest
 
 
 def system_fingerprint(system: QuorumSystem) -> str:
@@ -298,7 +319,11 @@ class ResultCache:
                 continue  # concurrently evicted by another worker
             entries.append((stat.st_mtime, stat.st_size, path))
             total += stat.st_size
-        entries.sort()  # oldest first
+        # Oldest first; mtime ties break on path, never on size. (Sorting
+        # the raw tuples compared st_size on equal mtimes — common on
+        # coarse-mtime filesystems and bulk writes — so which entry of a
+        # same-age pair survived depended on its payload size.)
+        entries.sort(key=lambda entry: (entry[0], entry[2]))
         removed = 0
         for mtime, size, path in entries:
             if total <= budget:

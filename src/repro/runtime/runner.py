@@ -47,6 +47,7 @@ from typing import Any, Callable, Hashable, Iterable, Sequence
 from repro.errors import ReproError
 from repro.runtime.cache import ResultCache, content_key
 from repro.runtime.grid import GridPoint
+from repro.runtime.shm import TopologyBroker
 
 __all__ = [
     "GridRunner",
@@ -211,9 +212,37 @@ class GridRunner:
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
         self._pool_holder: list[ProcessPoolExecutor] = []
+        self._broker: TopologyBroker | None = None
         self._finalizer = weakref.finalize(
             self, _shutdown_pools, self._pool_holder
         )
+
+    @property
+    def broker(self) -> TopologyBroker:
+        """The runner's shared-memory topology broker (created lazily).
+
+        Searches that fan candidates out through this runner publish the
+        topology here once and ship the returned handle in every grid
+        point, instead of pickling the O(n^2) delay matrix per task. The
+        broker's blocks live as long as the runner: :meth:`close` unlinks
+        them together with the pool.
+        """
+        if self._broker is None:
+            self._broker = TopologyBroker()
+        return self._broker
+
+    def ship(self, topology) -> object:
+        """The payload to put in grid-point kwargs for ``topology``.
+
+        A shared-memory handle when this runner would actually dispatch
+        to worker processes (and shared memory is usable); the topology
+        itself otherwise — inline runs need no transport, and
+        :func:`repro.runtime.shm.resolve_topology` passes real topologies
+        through untouched.
+        """
+        if not self.parallel:
+            return topology
+        return self.broker.publish(topology)
 
     def run(self, points: Sequence[GridPoint]) -> dict[Hashable, Any]:
         """Evaluate every point; returns results keyed by point tag."""
@@ -333,8 +362,11 @@ class GridRunner:
             raise
 
     def close(self) -> None:
-        """Shut down the worker pool (if one was ever created)."""
+        """Shut down the worker pool and unlink published shared memory."""
         _shutdown_pools(self._pool_holder)
+        if self._broker is not None:
+            self._broker.close()
+            self._broker = None
 
     def __enter__(self) -> "GridRunner":
         return self

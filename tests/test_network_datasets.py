@@ -9,6 +9,7 @@ from repro.network.datasets import (
     daxlist_161,
     load_topology,
     planetlab_50,
+    topology_sites,
 )
 
 
@@ -58,7 +59,13 @@ class TestDaxlist161:
 
 class TestRegistry:
     def test_available(self):
-        assert set(available_topologies()) == {"planetlab-50", "daxlist-161"}
+        assert set(available_topologies()) == {
+            "planetlab-50",
+            "daxlist-161",
+            "wan-1000",
+            "wan-2000",
+            "wan-5000",
+        }
 
     def test_load_by_name(self):
         assert load_topology("planetlab-50").n_nodes == 50
@@ -67,3 +74,16 @@ class TestRegistry:
     def test_unknown_name(self):
         with pytest.raises(TopologyError):
             load_topology("nope")
+
+    def test_site_counts_without_generation(self):
+        """Site counts are registry data, not generated topologies."""
+        assert topology_sites("planetlab-50") == 50
+        assert topology_sites("wan-2000") == 2000
+        assert topology_sites("wan-5000") == 5000
+        with pytest.raises(TopologyError):
+            topology_sites("nope")
+
+    def test_wan_preset_loads(self):
+        wan = load_topology("wan-1000")
+        assert wan.n_nodes == 1000
+        assert wan.rtt.max() > 150.0  # intercontinental structure survives

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.errors import TopologyError
-from repro.network.generators import ClusterSpec, generate_cluster_topology
+from repro.network.generators import (
+    WAN_CLUSTERS,
+    ClusterSpec,
+    _allocate_sites,
+    generate_cluster_topology,
+    synthetic_wan,
+)
 from repro.network.geo import (
     EARTH_RADIUS_KM,
     great_circle_km,
@@ -144,3 +150,52 @@ class TestGenerator:
     def test_zero_sites_rejected(self):
         with pytest.raises(TopologyError):
             generate_cluster_topology(0, TWO_CLUSTERS, seed=1)
+
+
+class TestAllocateSites:
+    def test_fewer_sites_than_clusters_raises(self):
+        """Regression: n_sites < len(clusters) used to underflow the
+        donor-steal loop instead of failing with a clear message."""
+        with pytest.raises(TopologyError, match="cannot allocate"):
+            _allocate_sites(WAN_CLUSTERS, len(WAN_CLUSTERS) - 1)
+        # The boundary is fine: exactly one site per cluster.
+        counts = _allocate_sites(WAN_CLUSTERS, len(WAN_CLUSTERS))
+        assert counts == [1] * len(WAN_CLUSTERS)
+
+    def test_remainder_ties_break_toward_lower_index(self):
+        """Equal weights, sites not divisible by clusters: the stable
+        sort must hand the extra sites to the lowest-index clusters."""
+        clusters = [
+            ClusterSpec(f"c{i}", 0.0, float(i), 1.0, 1.0) for i in range(4)
+        ]
+        # 6 sites over 4 equal clusters: raw 1.5 each, remainders all
+        # equal — clusters 0 and 1 get the two extras, deterministically.
+        assert _allocate_sites(clusters, 6) == [2, 2, 1, 1]
+        assert _allocate_sites(clusters, 7) == [2, 2, 2, 1]
+
+    def test_counts_sum_and_cover(self):
+        counts = _allocate_sites(WAN_CLUSTERS, 137)
+        assert sum(counts) == 137
+        assert min(counts) >= 1
+
+
+class TestSyntheticWan:
+    def test_deterministic_per_size(self):
+        a = synthetic_wan(250)
+        b = synthetic_wan(250)
+        assert np.array_equal(a.rtt, b.rtt)
+        assert a.names == b.names
+
+    def test_skips_metric_closure(self):
+        """The presets must not pay the O(n^3) closure; the raw cluster
+        model is near-metric but not exactly closed."""
+        wan = synthetic_wan(250)
+        assert wan.n_nodes == 250
+        # Symmetric with a zero diagonal even without closure.
+        assert np.array_equal(wan.rtt, wan.rtt.T)
+        assert np.all(np.diag(wan.rtt) == 0.0)
+
+    def test_spans_all_wan_metros(self):
+        wan = synthetic_wan(300)
+        prefixes = {name.rsplit("-", 1)[0] for name in wan.names}
+        assert prefixes == {c.name for c in WAN_CLUSTERS}

@@ -122,6 +122,44 @@ class TestLinVitterFilter:
         filtered = lin_vitter_filter(x, dist, eps=1 / 3)
         assert filtered[0, 0] == pytest.approx(1.0)
 
+    def test_tolerance_relative_at_planet_scale(self):
+        """Regression: the keep-tolerance was an absolute ``+ 1e-12``.
+        Float dust on a ~300 ms radius is ~1e-8 — four orders of
+        magnitude above the slack — so a node effectively *on* the
+        radius could be cut by rounding. The tolerance is relative now:
+        within 1e-9 of the radius is kept at any distance scale."""
+        x = np.array([[0.5, 0.5]])
+        # D ~ 200, radius ~ 300; the far node overshoots the radius by
+        # 2e-10 relative (~6e-8 ms) — pure dust at this scale.
+        dist = np.array([100.0, 300.0 * (1.0 + 2e-10)])
+        filtered = lin_vitter_filter(x, dist, eps=0.5)
+        assert np.allclose(filtered, x)
+
+    def test_tolerance_does_not_dominate_micro_scale_rows(self):
+        """The absolute slack also dwarfed rows whose distances are
+        themselves ~1e-12, keeping nodes ~7x beyond the radius."""
+        x = np.array([[0.9, 0.1]])
+        dist = np.array([0.0, 1e-12])  # D = 1e-13, radius 1.5e-13
+        filtered = lin_vitter_filter(x, dist, eps=0.5)
+        assert filtered[0, 1] == 0.0
+        assert filtered[0, 0] == pytest.approx(1.0)
+
+    def test_exact_radius_kept_across_scales(self):
+        for scale in (1e-6, 1.0, 1e3, 1e8):
+            x = np.array([[0.5, 0.5]])
+            # D = 2*scale, radius = 3*scale: node 1 sits exactly on it.
+            dist = np.array([1.0, 3.0]) * scale
+            filtered = lin_vitter_filter(x, dist, eps=0.5)
+            assert np.allclose(filtered, x), f"scale={scale}"
+
+    def test_distance_zero_row_keeps_exact_zero_nodes(self):
+        """A row entirely on distance-0 nodes has radius 0; the relative
+        tolerance must keep those nodes (losing all mass raised)."""
+        x = np.array([[0.5, 0.5, 0.0]])
+        dist = np.array([0.0, 0.0, 10.0])
+        filtered = lin_vitter_filter(x, dist, eps=1 / 3)
+        assert np.allclose(filtered, x)
+
     def test_bad_eps(self):
         with pytest.raises(PlacementError):
             lin_vitter_filter(np.eye(2), np.array([1.0, 2.0]), eps=0.0)

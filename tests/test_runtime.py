@@ -222,6 +222,35 @@ class TestCacheEviction:
         cache.put(content_key(y=1), b"z" * 512)
         assert cache._approx_size == cache.size_bytes()
 
+    def test_equal_mtime_eviction_is_path_ordered(self, tmp_path):
+        """Regression: trim sorted raw (mtime, size, path) tuples, so on
+        equal mtimes — routine on coarse-mtime filesystems and bulk
+        writes — the *smaller* entry of a tie was evicted first, making
+        survival depend on payload size. Ties must break on path only:
+        the lexicographically-first path is evicted first."""
+        import os
+
+        cache = ResultCache(tmp_path)
+        keys = [content_key(payload="a"), content_key(payload="b")]
+        keys.sort(key=cache.path_for)
+        first_key, second_key = keys
+        # Give the path-wise *first* entry the *larger* payload: the old
+        # size-ordered sort would evict the small second entry instead,
+        # so the two behaviors disagree about the victim.
+        cache.put(first_key, b"x" * 8192)
+        cache.put(second_key, b"x" * 512)
+        stamp = cache.path_for(first_key).stat().st_mtime
+        for key in keys:
+            os.utime(cache.path_for(key), (stamp, stamp))
+
+        total = cache.size_bytes()
+        removed = cache.trim(max_size_bytes=total - 1)
+        assert removed == 1
+        hit, _ = cache.lookup(first_key)
+        assert not hit, "mtime tie must evict the earlier path"
+        hit, _ = cache.lookup(second_key)
+        assert hit, "mtime tie must keep the later path"
+
     def test_unbounded_cache_never_trims(self, tmp_path):
         cache = ResultCache(tmp_path)
         for i in range(5):
@@ -466,6 +495,39 @@ class TestParallelEquivalence:
         ref = best_placement(small_topology, system, candidates=[3, 5])
         assert dup.v0 == ref.v0
         assert dup.delays_by_candidate == ref.delays_by_candidate
+
+    def test_duplicate_candidates_parallel(self, small_topology):
+        """Duplicated v0s must survive the parallel fan-out too: tags
+        stay unique (position, v0) and results match serial exactly."""
+        system = GridQuorumSystem(3)
+        serial = best_placement(
+            small_topology, system, candidates=[5, 3, 3, 5, 3]
+        )
+        parallel = best_placement(
+            small_topology, system, candidates=[5, 3, 3, 5, 3], jobs=2
+        )
+        assert serial.v0 == parallel.v0
+        assert serial.delays_by_candidate == parallel.delays_by_candidate
+
+    def test_non_contiguous_candidates_parallel(self, small_topology):
+        """Candidate arrays arriving as views (strided slices, reversed
+        ranges) must produce the same result serial and parallel."""
+        system = GridQuorumSystem(3)
+        strided = np.arange(small_topology.n_nodes)[::2]
+        reversed_ = np.arange(small_topology.n_nodes)[::-1]
+        for candidates in (strided, reversed_):
+            assert not candidates.flags.c_contiguous
+            serial = best_placement(
+                small_topology, system, candidates=candidates
+            )
+            parallel = best_placement(
+                small_topology, system, candidates=candidates, jobs=2
+            )
+            assert serial.v0 == parallel.v0
+            assert serial.avg_network_delay == parallel.avg_network_delay
+            assert (
+                serial.delays_by_candidate == parallel.delays_by_candidate
+            )
 
     def test_best_placement_parallel_identical(self, small_topology):
         for system in (GridQuorumSystem(3), majority(MajorityKind.BFT, 2)):
