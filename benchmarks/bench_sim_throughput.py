@@ -1,0 +1,185 @@
+"""Benchmark of the fluid simulation backend at WAN scale.
+
+The event engine pays a Python callback per message; at the scale the
+ISSUE targets (a thousand client sites, ~10^6 requests) a single run is
+minutes of interpreter time. The fluid backend
+(:mod:`repro.sim.fluid`) evaluates the identical workload model with
+array programs — bulk Poisson arrivals, block-sampled quorum choices, a
+segmented Lindley recursion per server — so simulated-request throughput
+is bounded by numpy, not the event loop.
+
+This benchmark runs the same open-loop scenario (wan-1000, majority 3/5
+placed on the lowest-mean-distance sites, balanced strategy, clients on
+every node, 1 ops/ms offered) through both backends and records
+simulated requests per wall-clock second. The event engine is measured
+on a shorter horizon — its cost per simulated request is constant, so
+requests/second compares fairly across horizons — while the fluid run
+covers the full window. Distributional sanity (means within 10%) and
+exact request conservation are asserted on both.
+
+Fast mode (default, CI): 60 s simulated fluid / 5 s events; floors
+2.5e5 req/s fluid and 10x over events. Full mode
+(``REPRO_BENCH_FULL=1``): 600 s simulated fluid (~1.8M requests) / 30 s
+events; floors 1e6 req/s and 50x — the ISSUE acceptance bars.
+
+The run writes ``benchmarks/results/bench_sim_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+
+import numpy as np
+import pytest
+
+from conftest import full_grids_enabled
+from repro.core.placement import PlacedQuorumSystem, Placement
+from repro.core.strategy import ThresholdBalancedStrategy
+from repro.network.generators import synthetic_wan
+from repro.quorums.threshold import ThresholdQuorumSystem
+from repro.sim.generic import GenericQuorumSimulation
+from repro.sim.workload import PoissonArrivals
+
+FAST = not full_grids_enabled()
+N_SITES = 1000
+RATE_PER_MS = 1.0
+FLUID_DURATION_MS = 60_000.0 if FAST else 600_000.0
+EVENTS_DURATION_MS = 5_000.0 if FAST else 30_000.0
+WARMUP_FRACTION = 0.1
+# Acceptance bars. Fast mode keeps CI honest at a fraction of the full
+# run; full mode carries the ISSUE floors: >= 1e6 simulated requests per
+# second through the fluid backend, >= 50x over the event engine.
+FLUID_FLOOR_REQ_S = 2.5e5 if FAST else 1.0e6
+SPEEDUP_FLOOR = 10.0 if FAST else 50.0
+
+
+def _scenario(topology):
+    system = ThresholdQuorumSystem(5, 3)
+    sites = np.argsort(topology.mean_distances())[:5]
+    placed = PlacedQuorumSystem(
+        system, Placement([int(s) for s in sites]), topology
+    )
+    return placed
+
+
+def _timed_run(placed, topology, backend, duration_ms):
+    sim = GenericQuorumSimulation(
+        placed,
+        ThresholdBalancedStrategy(),
+        client_nodes=np.arange(topology.n_nodes),
+        service_time_ms=1.0,
+        seed=17,
+        arrivals=PoissonArrivals(rate_per_ms=RATE_PER_MS, seed=18),
+        backend=backend,
+    )
+    started = time.perf_counter()
+    result = sim.run(
+        duration_ms=duration_ms,
+        warmup_ms=WARMUP_FRACTION * duration_ms,
+    )
+    elapsed = time.perf_counter() - started
+    return result, elapsed
+
+
+def test_fluid_backend_sustains_wan_scale_throughput(results_dir):
+    topology = synthetic_wan(N_SITES)
+    placed = _scenario(topology)
+
+    # Warm run outside the timed window: numpy dispatch, topology caches.
+    _timed_run(placed, topology, "fluid", 2_000.0)
+
+    fluid, fluid_s = _timed_run(
+        placed, topology, "fluid", FLUID_DURATION_MS
+    )
+    events, events_s = _timed_run(
+        placed, topology, "events", EVENTS_DURATION_MS
+    )
+
+    for r in (fluid, events):
+        assert r.requests_issued == (
+            r.requests_processed
+            + r.requests_dropped
+            + r.requests_in_flight
+        )
+
+    # Same workload model: the distributions must agree, not just the
+    # speed. (Different horizons and random streams -> loose tolerance.)
+    assert fluid.stats.mean_response_ms == pytest.approx(
+        events.stats.mean_response_ms, rel=0.10
+    )
+
+    fluid_req_s = fluid.requests_issued / fluid_s
+    events_req_s = events.requests_issued / events_s
+    speedup = fluid_req_s / events_req_s
+
+    record = {
+        "benchmark": "sim_throughput",
+        "mode": "fast" if FAST else "full",
+        "topology": f"synthetic-wan-{N_SITES}",
+        "n_sites": N_SITES,
+        "system": "majority:simple:2",
+        "strategy": "threshold-balanced",
+        "rate_per_ms": RATE_PER_MS,
+        "fluid_duration_ms": FLUID_DURATION_MS,
+        "events_duration_ms": EVENTS_DURATION_MS,
+        "fluid_operations": int(fluid.operations_completed),
+        "fluid_requests": int(fluid.requests_issued),
+        "fluid_seconds": fluid_s,
+        "fluid_requests_per_second": fluid_req_s,
+        "events_operations": int(events.operations_completed),
+        "events_requests": int(events.requests_issued),
+        "events_seconds": events_s,
+        "events_requests_per_second": events_req_s,
+        "speedup": speedup,
+        "fluid_mean_response_ms": float(fluid.stats.mean_response_ms),
+        "events_mean_response_ms": float(events.stats.mean_response_ms),
+        "fluid_p99_response_ms": float(fluid.stats.p99_response_ms),
+        "events_p99_response_ms": float(events.stats.p99_response_ms),
+        "conservation_ok": True,
+        "fluid_floor_requests_per_second": FLUID_FLOOR_REQ_S,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    out = results_dir / "bench_sim_throughput.json"
+    out.write_text(json.dumps(record, indent=2) + "\n")
+
+    print()
+    print(f"== sim throughput: wan-{N_SITES}, {RATE_PER_MS} ops/ms, "
+          f"majority 3/5 ==")
+    print(f"   fluid:   {fluid.requests_issued:>9,} requests in "
+          f"{fluid_s:7.2f} s  ({fluid_req_s:12,.0f} req/s)")
+    print(f"   events:  {events.requests_issued:>9,} requests in "
+          f"{events_s:7.2f} s  ({events_req_s:12,.0f} req/s)")
+    print(f"   speedup: {speedup:8.1f}x (floor {SPEEDUP_FLOOR}x)")
+    print(f"   mean:    {fluid.stats.mean_response_ms:8.2f} ms fluid vs "
+          f"{events.stats.mean_response_ms:8.2f} ms events")
+
+    assert fluid_req_s >= FLUID_FLOOR_REQ_S
+    assert speedup >= SPEEDUP_FLOOR
+
+
+def test_bench_json_is_machine_readable(results_dir):
+    out = results_dir / "bench_sim_throughput.json"
+    if not out.exists():
+        pytest.skip("sim throughput benchmark has not run in this session")
+    record = json.loads(out.read_text())
+    for field in (
+        "mode",
+        "n_sites",
+        "fluid_requests",
+        "fluid_requests_per_second",
+        "events_requests_per_second",
+        "speedup",
+        "conservation_ok",
+    ):
+        assert field in record
+    assert record["conservation_ok"] is True
+    assert record["speedup"] >= record["speedup_floor"]
+    assert (
+        record["fluid_requests_per_second"]
+        >= record["fluid_floor_requests_per_second"]
+    )

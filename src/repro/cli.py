@@ -13,8 +13,10 @@ time. Subcommands::
     python -m repro plan --system grid:4 --many-to-one 0.8
     python -m repro figure fig_6_3 --fast --jobs 4
     python -m repro figure fig_7_6 --no-cache
+    python -m repro figure fig_throughput --fast --sim-backend fluid
     python -m repro dynamics --scenario mixed --epochs 24 --jobs 2
     python -m repro dynamics --scenario diurnal --policies static,threshold:0.1
+    python -m repro dynamics --scenario mixed --simulate-rate 0.5
 
 ``--jobs`` parallelizes the independent units of work (placement
 candidates for ``plan``, grid points for ``figure``) over worker
@@ -36,7 +38,7 @@ import numpy as np
 from repro.analysis.fault_tolerance import crash_tolerance
 from repro.core.response_time import alpha_from_demand, evaluate
 from repro.core.strategy import ExplicitStrategy
-from repro.dynamics.replay import replay
+from repro.dynamics.replay import replay, simulate_placements
 from repro.dynamics.scenarios import (
     diurnal_scenario,
     flash_crowd_scenario,
@@ -248,9 +250,21 @@ def _cmd_figure(args) -> int:
         if args.no_cache
         else ResultCache(args.cache_dir, max_size_bytes=max_bytes)
     )
-    result = run_figure(
-        args.figure_id, fast=args.fast, jobs=args.jobs, cache=cache
-    )
+    kwargs = {}
+    if args.sim_backend is not None:
+        kwargs["backend"] = args.sim_backend
+    try:
+        result = run_figure(
+            args.figure_id, fast=args.fast, jobs=args.jobs, cache=cache,
+            **kwargs,
+        )
+    except TypeError as exc:
+        if kwargs and "backend" in str(exc):
+            raise ReproError(
+                f"figure {args.figure_id!r} does not accept --sim-backend "
+                "(it runs no simulation)"
+            ) from None
+        raise
     print(result.render_text())
     if cache is not None:
         print(
@@ -304,6 +318,23 @@ def _cmd_dynamics(args) -> int:
             runner=runner,
         )
     print(result.render_text())
+    if args.simulate_rate > 0:
+        rows = simulate_placements(
+            topology, system, trace, result,
+            rate_per_ms=args.simulate_rate, seed=args.seed,
+        )
+        print(
+            f"   simulated segment placements (fluid backend, "
+            f"{args.simulate_rate} ops/ms):"
+        )
+        for row in rows:
+            start, end = row["segment"]
+            print(
+                f"     epochs [{start},{end}): mean "
+                f"{row['mean_response_ms']:.2f} ms, p95 "
+                f"{row['p95_response_ms']:.2f} ms over "
+                f"{row['operations']} ops ({row['members']} members)"
+            )
     return 0
 
 
@@ -360,6 +391,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="trim the cache to this size after each "
                         "store, evicting oldest entries first "
                         "(default: unbounded)")
+    figure.add_argument("--sim-backend", default=None,
+                        choices=["events", "fluid", "both"],
+                        help="simulation backend for figures that run "
+                        "the simulator (e.g. fig_throughput): the "
+                        "discrete-event reference, the vectorized "
+                        "fluid engine, or both overlaid")
 
     dynamics = sub.add_parser(
         "dynamics",
@@ -395,6 +432,11 @@ def build_parser() -> argparse.ArgumentParser:
     dynamics.add_argument("--jobs", type=int, default=1, metavar="N",
                           help="worker processes for placement and "
                           "replay points (0 = all cores)")
+    dynamics.add_argument("--simulate-rate", type=float, default=0.0,
+                          metavar="OPS_PER_MS",
+                          help="after the replay, cross-check each "
+                          "segment's placement in the fluid simulator "
+                          "at this open-loop arrival rate (0 = skip)")
     return parser
 
 

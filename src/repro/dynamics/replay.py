@@ -51,7 +51,13 @@ from repro.runtime.cache import (
 from repro.runtime.grid import GridPoint
 from repro.runtime.runner import GridRunner, shared_runner
 
-__all__ = ["CLAIRVOYANT", "DynamicsResult", "PolicySeries", "replay"]
+__all__ = [
+    "CLAIRVOYANT",
+    "DynamicsResult",
+    "PolicySeries",
+    "replay",
+    "simulate_placements",
+]
 
 #: Spec of the regret baseline: re-optimize at every epoch.
 CLAIRVOYANT = "clairvoyant"
@@ -182,6 +188,86 @@ def _segment_placement(
     sub = topology.subtopology(up_nodes)
     search = best_placement(sub, system, candidates=candidates)
     return search.placed.placement.assignment
+
+
+def simulate_placements(
+    topology: Topology,
+    system: QuorumSystem,
+    trace: ScenarioTrace,
+    result: DynamicsResult,
+    rate_per_ms: float = 0.5,
+    duration_ms: float = 2_000.0,
+    service_time_ms: float = 1.0,
+    seed: int = 17,
+    backend: str = "fluid",
+) -> tuple[dict, ...]:
+    """Cross-check a replay's per-segment placements in the simulator.
+
+    The replay's expected-delay series comes from the analytic response
+    model; this runs each segment's placement through
+    :class:`~repro.sim.generic.GenericQuorumSimulation` under an open-loop
+    Poisson workload — by default on the **fluid backend**, which makes
+    per-epoch policy evaluation cheap enough to run after every replay.
+    Returns one dict per segment (``segment``, ``mean_response_ms``,
+    ``p95_response_ms``, ``operations``, plus the request-conservation
+    counters).
+
+    This is membership-level validation: each segment is simulated on the
+    base RTTs of its member subtopology (clients on every member node,
+    the balanced strategy — :class:`ExplicitStrategy.uniform
+    <repro.core.strategy.ExplicitStrategy>` when the system enumerates,
+    the threshold-balanced sampler otherwise). Within-segment RTT drift
+    and capacity events are the analytic series' territory; the simulator
+    validates the placements, not the drift model.
+    """
+    from repro.core.placement import PlacedQuorumSystem, Placement
+    from repro.core.strategy import (
+        ExplicitStrategy,
+        ThresholdBalancedStrategy,
+    )
+    from repro.sim.generic import GenericQuorumSimulation
+    from repro.sim.workload import PoissonArrivals
+
+    states = trace.states(topology)
+    rows: list[dict] = []
+    for index, (start, end) in enumerate(result.segments):
+        up_nodes = states[start].up_nodes
+        sub = topology.subtopology(up_nodes)
+        # result.placements live in the global node space; map back into
+        # the member (sub) space. up_nodes is sorted, so searchsorted is
+        # the exact inverse of up_nodes[sub_assignment].
+        assignment = np.searchsorted(up_nodes, result.placements[index])
+        placed = PlacedQuorumSystem(system, Placement(assignment), sub)
+        if system.is_enumerable:
+            strategy = ExplicitStrategy.uniform(placed)
+        else:
+            strategy = ThresholdBalancedStrategy()
+        sim = GenericQuorumSimulation(
+            placed,
+            strategy,
+            client_nodes=np.arange(sub.n_nodes),
+            service_time_ms=service_time_ms,
+            seed=seed + index,
+            arrivals=PoissonArrivals(
+                rate_per_ms=rate_per_ms, seed=seed + 1000 + index
+            ),
+            backend=backend,
+        )
+        out = sim.run(duration_ms=duration_ms, warmup_ms=0.1 * duration_ms)
+        rows.append(
+            {
+                "segment": (start, end),
+                "members": int(sub.n_nodes),
+                "mean_response_ms": float(out.stats.mean_response_ms),
+                "p95_response_ms": float(out.stats.p95_response_ms),
+                "operations": int(out.operations_completed),
+                "requests_issued": int(out.requests_issued),
+                "requests_processed": int(out.requests_processed),
+                "requests_dropped": int(out.requests_dropped),
+                "requests_in_flight": int(out.requests_in_flight),
+            }
+        )
+    return tuple(rows)
 
 
 def replay(

@@ -23,6 +23,7 @@ from repro.experiments import (
     fig_8_9,
     fig_dyn,
     fig_scale,
+    fig_throughput,
 )
 from repro.experiments.series import FigureResult
 from repro.runtime.cache import ResultCache
@@ -43,6 +44,7 @@ FIGURES: dict[str, Callable[..., FigureResult]] = {
     "fig_8_9": fig_8_9.run,
     "fig_dyn": fig_dyn.run,
     "fig_scale": fig_scale.run,
+    "fig_throughput": fig_throughput.run,
 }
 
 

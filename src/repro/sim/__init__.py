@@ -3,8 +3,10 @@
 Replaces the paper's Modelnet testbed (Section 3): a deterministic
 event-driven simulator (:mod:`repro.sim.engine`), message delivery over a
 topology's RTT matrix (:mod:`repro.sim.network`), closed-loop workload
-bookkeeping (:mod:`repro.sim.workload`) and response-time metrics
-(:mod:`repro.sim.metrics`).
+bookkeeping (:mod:`repro.sim.workload`), response-time metrics
+(:mod:`repro.sim.metrics`), and the fluid (vectorized) open-loop backend
+(:mod:`repro.sim.fluid`) selected via
+``GenericQuorumSimulation(backend="fluid")``.
 
 The Q/U experiment harness lives in :mod:`repro.sim.experiment`; import it
 directly (``from repro.sim.experiment import run_qu_experiment``) — it sits
@@ -13,7 +15,12 @@ above both this package and :mod:`repro.qu`, so it is not re-exported here.
 
 from repro.sim.engine import Simulator
 from repro.sim.failures import CrashWindow, FailureSchedule
-from repro.sim.metrics import OperationRecord, ResponseTimeStats, summarize
+from repro.sim.metrics import (
+    OperationRecord,
+    ResponseTimeStats,
+    summarize,
+    summarize_arrays,
+)
 from repro.sim.network import SimNetwork
 
 __all__ = [
@@ -22,6 +29,7 @@ __all__ = [
     "OperationRecord",
     "ResponseTimeStats",
     "summarize",
+    "summarize_arrays",
     "CrashWindow",
     "FailureSchedule",
 ]

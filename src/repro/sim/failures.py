@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import SimulationError
 
 __all__ = ["CrashWindow", "FailureSchedule"]
@@ -92,6 +94,33 @@ class FailureSchedule:
             w.node == node and w.start_ms <= time_ms < w.end_ms
             for w in self._windows
         )
+
+    def node_windows(self, node: int) -> np.ndarray:
+        """The node's crash windows as a ``(k, 2)`` float array.
+
+        Rows read ``[start_ms, end_ms)`` sorted ascending; canonical
+        merging guarantees they are disjoint and non-adjacent, so the
+        flattened boundaries are strictly increasing — the property the
+        fluid backend's ``searchsorted`` drop masks rely on.
+        """
+        rows = [
+            (w.start_ms, w.end_ms)
+            for w in self._windows
+            if w.node == node
+        ]
+        return np.asarray(rows, dtype=np.float64).reshape(-1, 2)
+
+    def down_mask(self, node: int, times_ms: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`is_down` over an array of query times.
+
+        ``result[i]`` is True iff ``times_ms[i]`` falls inside one of the
+        node's ``[start, end)`` windows.
+        """
+        times = np.asarray(times_ms, dtype=np.float64)
+        bounds = self.node_windows(node).ravel()
+        if bounds.size == 0:
+            return np.zeros(times.shape, dtype=bool)
+        return np.searchsorted(bounds, times, side="right") % 2 == 1
 
     def downtime(self, node: int, until_ms: float) -> float:
         """Total scheduled downtime of ``node`` within ``[0, until_ms)``.

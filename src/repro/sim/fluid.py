@@ -1,0 +1,363 @@
+"""Fluid (vectorized) simulation backend for open-loop workloads.
+
+The event engine in :mod:`repro.sim.generic` burns one Python callback and
+one heap operation per client message — perfect for validating protocol
+logic, hopeless for the client populations the wan-scale presets are
+planned for. This module is the throughput backend: the same open-loop
+scenario (Poisson arrivals, access-strategy quorum sampling, FIFO
+single-processor servers, crash windows) computed as a handful of numpy
+array passes, with **distribution-level equivalence** to the event engine
+pinned by ``tests/test_fluid_equivalence.py``.
+
+The pipeline:
+
+1. **Bulk event generation** — all Poisson arrival times come from
+   ``PoissonArrivals.sample_until`` and all per-operation quorum choices
+   are sampled up front from one seeded ``default_rng`` stream, grouped
+   into *blocks* of operations that share a quorum shape.
+2. **Client-class aggregation** — operations are never client objects:
+   statistically identical clients (same site, same strategy row, same
+   service parameters) collapse into the same sampling group, and
+   per-operation state lives in flat arrays indexed by arrival.
+3. **Vectorized server queueing** — each server's FIFO delay is the
+   Lindley recursion over its time-sorted arrivals
+   (``np.maximum.accumulate`` over cumulative service sums);
+   :class:`~repro.sim.failures.FailureSchedule` down-windows become
+   ``searchsorted`` drop masks that preserve the event engine's
+   "crash drops the queue" semantics and ``requests_dropped`` accounting.
+4. **Columnar metrics** — completions reduce per block with ``max(axis=1)``
+   and summarize through :func:`repro.sim.metrics.summarize_arrays`, so a
+   million operations never materialize a million ``OperationRecord``s.
+
+Semantics relative to the reference engine (exact unless noted):
+
+* Request conservation is exact: every issued request is processed,
+  dropped, or in flight at the horizon — ``issued == processed + dropped
+  + in_flight`` holds to the unit.
+* A request arriving at a crashed server is dropped at its arrival time;
+  work still queued or in service when a crash window opens is dropped at
+  the window start. (The event engine drops the queue at the first event
+  that *fires* inside the window — later by at most one service time when
+  the server is busy, which is when queues exist at all.)
+* Timeout *retries* are not replayed: an operation that loses a request
+  to a crash is abandoned, and ``timeouts_total`` counts such operations
+  (each would have timed out at least once in the event engine). Failure
+  runs are therefore compared on conservation and throughput, not means.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from repro.core.strategy import ExplicitStrategy
+from repro.errors import SimulationError
+from repro.quorums.threshold import ThresholdQuorumSystem
+from repro.sim.metrics import summarize_arrays
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sim.generic import GenericQuorumSimulation, GenericSimResult
+
+__all__ = ["run_fluid"]
+
+#: Operations per chunk when drawing random-subset keys (bounds the
+#: temporary (chunk, universe) float matrix to a few MiB).
+_SUBSET_CHUNK = 1 << 17
+
+_NO_WINDOWS = np.empty((0, 2), dtype=np.float64)
+
+
+def _group_by(values: np.ndarray) -> Iterator[tuple[int, np.ndarray]]:
+    """Yield ``(value, indices)`` groups of a 1-D integer array.
+
+    One stable argsort instead of one ``flatnonzero`` scan per distinct
+    value; group order is ascending by value and indices preserve the
+    original order within each group, so iteration is deterministic.
+    """
+    order = np.argsort(values, kind="stable")
+    sorted_vals = values[order]
+    uniq, starts = np.unique(sorted_vals, return_index=True)
+    ends = np.append(starts[1:], values.size)
+    for value, i0, i1 in zip(uniq, starts, ends):
+        yield int(value), order[i0:i1]
+
+
+def _lindley(arrivals: np.ndarray, service: np.ndarray) -> np.ndarray:
+    """Departure times of a FIFO single server starting empty.
+
+    ``D_j = S_j + max_{k<=j}(a_k - S_{k-1})`` with ``S`` the cumulative
+    service sums — the Lindley recursion as two cumulative array passes.
+    ``arrivals`` must be sorted ascending.
+    """
+    cum = np.cumsum(service)
+    return np.maximum.accumulate(arrivals - (cum - service)) + cum
+
+
+def _fifo_departures(
+    arrivals: np.ndarray,
+    service: np.ndarray,
+    windows: np.ndarray,
+    horizon_ms: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Departures and drop mask for one server's time-sorted arrivals.
+
+    ``windows`` is the server's ``(k, 2)`` crash-window array. Dropped
+    requests get departure ``+inf``; a request whose drop event would fire
+    after ``horizon_ms`` is *not* dropped (it is in flight at the cutoff,
+    exactly as an unfired event engine callback would leave it).
+    """
+    n = arrivals.size
+    if windows.size == 0:
+        return _lindley(arrivals, service), np.zeros(n, dtype=bool)
+
+    bounds = windows.ravel()
+    pos = np.searchsorted(bounds, arrivals, side="right")
+    in_down = pos % 2 == 1
+    departures = np.full(n, np.inf)
+    dropped = np.zeros(n, dtype=bool)
+    # Arrival at a crashed server: dropped on the spot (if the arrival
+    # event fires before the horizon).
+    dropped[in_down & (arrivals <= horizon_ms)] = True
+
+    # Between windows the queue starts empty (the crash cleared it); any
+    # request still in the system when the next window opens is dropped.
+    up = ~in_down
+    segment = pos // 2
+    n_windows = windows.shape[0]
+    for sid in range(n_windows + 1):
+        mask = up & (segment == sid)
+        if not mask.any():
+            continue
+        dep = _lindley(arrivals[mask], service[mask])
+        if sid < n_windows:
+            crash_at = windows[sid, 0]
+            crashed = dep >= crash_at
+            if crash_at <= horizon_ms:
+                dropped[np.flatnonzero(mask)[crashed]] = True
+            dep = np.where(crashed, np.inf, dep)
+        departures[mask] = dep
+    return departures, dropped
+
+
+def _sample_blocks(
+    sim: "GenericQuorumSimulation",
+    op_node: np.ndarray,
+    rng: np.random.Generator,
+) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """All per-operation quorum choices, sampled up front.
+
+    Returns blocks ``(ops, servers, units)``: operation indices ``(k,)``,
+    the accessed server nodes ``(k, L)``, and per-request service units
+    ``(L,)`` or scalar — one block per quorum shape. Mirrors the sampling
+    semantics of ``GenericQuorumSimulation._build_samplers`` exactly
+    (same distributions, one bulk stream instead of per-client streams).
+    """
+    placed = sim.placed
+    strategy = sim.strategy
+    n_ops = op_node.size
+    one = np.ones(1, dtype=np.intp)
+
+    if isinstance(strategy, ExplicitStrategy):
+        assignment = placed.placement.assignment
+        counts = []
+        for q in placed.system.quorums:
+            nodes, mult = np.unique(
+                assignment[np.fromiter(q, dtype=np.intp)],
+                return_counts=True,
+            )
+            counts.append((nodes, mult))
+        matrix = strategy.matrix
+        m = matrix.shape[1]
+        quorum_of_op = np.empty(n_ops, dtype=np.intp)
+        for v, ops in _group_by(op_node):
+            quorum_of_op[ops] = rng.choice(m, size=ops.size, p=matrix[v])
+        blocks = []
+        for i, ops in _group_by(quorum_of_op):
+            nodes, mult = counts[i]
+            units = np.ones_like(mult) if sim._coalesce else mult
+            blocks.append(
+                (ops, np.broadcast_to(nodes, (ops.size, nodes.size)), units)
+            )
+        return blocks
+
+    if not isinstance(placed.system, ThresholdQuorumSystem):
+        raise SimulationError(
+            "implicit strategies require a threshold system"
+        )
+    support = placed.placement.support_set
+    n = placed.system.universe_size
+    q = placed.system.quorum_size
+    kind = type(strategy).__name__
+    if kind == "ThresholdBalancedStrategy":
+        # Uniform random q-subsets for every operation at once: the q
+        # smallest of n iid uniform keys index a uniformly random subset
+        # (same distribution as rng.choice(n, q, replace=False)).
+        subsets = np.empty((n_ops, q), dtype=np.intp)
+        for start in range(0, n_ops, _SUBSET_CHUNK):
+            stop = min(start + _SUBSET_CHUNK, n_ops)
+            keys = rng.random((stop - start, n))
+            subsets[start:stop] = np.argpartition(
+                keys, q - 1, axis=1
+            )[:, :q]
+        return [(np.arange(n_ops, dtype=np.intp), support[subsets], one)]
+    if kind == "ThresholdClosestStrategy":
+        dist = placed.support_distances
+        blocks = []
+        for v, ops in _group_by(op_node):
+            chosen = np.argsort(dist[v], kind="stable")[:q]
+            fixed = support[chosen]
+            blocks.append(
+                (ops, np.broadcast_to(fixed, (ops.size, q)), one)
+            )
+        return blocks
+    raise SimulationError(
+        f"unsupported strategy type {kind!r} for the generic simulator"
+    )
+
+
+def run_fluid(
+    sim: "GenericQuorumSimulation",
+    duration_ms: float,
+    warmup_ms: float = 0.0,
+) -> "GenericSimResult":
+    """Run ``sim``'s open-loop scenario through the fluid backend."""
+    from repro.sim.generic import GenericSimResult
+
+    if sim.arrivals is None:
+        raise SimulationError(
+            "the fluid backend is open-loop only; pass arrivals= "
+            "(closed-loop feedback needs the event engine)"
+        )
+    rtt = sim.placed.topology.rtt
+    failures = sim.failures
+    jitter_ms = sim.network_jitter_ms
+    service_time = sim.service_time_ms
+    horizon = float(duration_ms)
+
+    times = sim.arrivals.sample_until(duration_ms)
+    n_ops = times.size
+    if n_ops == 0:
+        raise SimulationError(
+            "no operations completed after warmup; run longer or reduce "
+            "the warmup window"
+        )
+    op_node = sim.client_nodes[
+        np.arange(n_ops, dtype=np.intp) % sim.client_nodes.size
+    ]
+    rng = np.random.default_rng(sim.seed)
+    blocks = _sample_blocks(sim, op_node, rng)
+
+    # ------------------------------------------------------------------
+    # Flatten blocks into one request table (one row per client->server
+    # message), remembering each block's slice for the reduce step.
+    # ------------------------------------------------------------------
+    total = sum(ops.size * servers.shape[1] for ops, servers, _ in blocks)
+    req_server = np.empty(total, dtype=np.intp)
+    req_arrive = np.empty(total, dtype=np.float64)
+    req_service = np.empty(total, dtype=np.float64)
+    req_one_way = np.empty(total, dtype=np.float64)
+    net_delay = np.empty(n_ops, dtype=np.float64)
+    slices = []
+    offset = 0
+    for ops, servers, units in blocks:
+        k, width = servers.shape
+        stop = offset + k * width
+        one_way = rtt[op_node[ops][:, None], servers] / 2.0
+        net_delay[ops] = one_way.max(axis=1) * 2.0
+        arrive = times[ops][:, None] + one_way
+        if jitter_ms > 0:
+            arrive = arrive + rng.exponential(jitter_ms, size=(k, width))
+        req_server[offset:stop] = np.ravel(servers)
+        req_one_way[offset:stop] = one_way.ravel()
+        req_arrive[offset:stop] = arrive.ravel()
+        req_service[offset:stop] = np.broadcast_to(
+            service_time * units, (k, width)
+        ).ravel()
+        slices.append((ops, offset, stop, width))
+        offset = stop
+
+    # ------------------------------------------------------------------
+    # Per-server FIFO queueing: sort by (server, arrival) once, Lindley
+    # within each server run, scatter departures back.
+    # ------------------------------------------------------------------
+    order = np.lexsort((req_arrive, req_server))
+    srv_sorted = req_server[order]
+    arr_sorted = req_arrive[order]
+    svc_sorted = req_service[order]
+    dep_sorted = np.empty(total, dtype=np.float64)
+    dropped_sorted = np.zeros(total, dtype=bool)
+    processed_by_node: dict[int, int] = {}
+    busy_by_node: dict[int, float] = {}
+    uniq, starts = np.unique(srv_sorted, return_index=True)
+    ends = np.append(starts[1:], total)
+    for node, i0, i1 in zip(uniq, starts, ends):
+        windows = (
+            _NO_WINDOWS
+            if failures is None
+            else failures.node_windows(int(node))
+        )
+        dep, dropped = _fifo_departures(
+            arr_sorted[i0:i1], svc_sorted[i0:i1], windows, horizon
+        )
+        dep_sorted[i0:i1] = dep
+        dropped_sorted[i0:i1] = dropped
+        kept = ~dropped & (dep <= horizon)
+        processed_by_node[int(node)] = int(kept.sum())
+        busy_by_node[int(node)] = float(svc_sorted[i0:i1][kept].sum())
+
+    departure = np.empty(total, dtype=np.float64)
+    departure[order] = dep_sorted
+    req_dropped = np.empty(total, dtype=bool)
+    req_dropped[order] = dropped_sorted
+
+    # ------------------------------------------------------------------
+    # Replies and per-operation completion (columnar reduce per block).
+    # ------------------------------------------------------------------
+    reply = departure + req_one_way
+    if jitter_ms > 0:
+        reply = reply + rng.exponential(jitter_ms, size=total)
+    completion = np.empty(n_ops, dtype=np.float64)
+    op_failed = np.zeros(n_ops, dtype=bool)
+    for ops, start, stop, width in slices:
+        completion[ops] = reply[start:stop].reshape(ops.size, width).max(
+            axis=1
+        )
+        op_failed[ops] = (
+            req_dropped[start:stop].reshape(ops.size, width).any(axis=1)
+        )
+    completed = completion <= horizon
+
+    if not np.any(completed):
+        raise SimulationError(
+            "no operations completed after warmup; run longer or reduce "
+            "the warmup window"
+        )
+    stats = summarize_arrays(
+        issued_at_ms=times[completed],
+        completed_at_ms=completion[completed],
+        network_delay_ms=net_delay[completed],
+        client_ids=None,  # open loop: every operation is its own client
+        warmup_ms=warmup_ms,
+    )
+
+    elapsed = horizon
+    rates = np.zeros(sim.placed.n_nodes)
+    utils = np.zeros(len(sim.servers))
+    for idx, node in enumerate(sorted(sim.servers)):
+        rates[node] = processed_by_node.get(node, 0) / elapsed
+        utils[idx] = min(1.0, busy_by_node.get(node, 0.0) / elapsed)
+
+    requests_processed = sum(processed_by_node.values())
+    requests_dropped = int(req_dropped.sum())
+    return GenericSimResult(
+        stats=stats,
+        per_node_request_rate=rates,
+        server_utilizations=utils,
+        operations_completed=stats.n_operations,
+        timeouts_total=int(op_failed.sum()) if failures is not None else 0,
+        requests_dropped=requests_dropped,
+        requests_issued=total,
+        requests_processed=requests_processed,
+        requests_in_flight=total - requests_processed - requests_dropped,
+    )

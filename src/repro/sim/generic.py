@@ -12,6 +12,13 @@ Its main use is validating the analytic response-time model (4.1)-(4.2):
 at low demand the simulated mean response time converges to the model's
 network-delay prediction, and the load the simulation observes per node
 converges to ``load_f(w)`` (tests in ``tests/test_generic_sim.py``).
+
+This event-driven engine is the **reference backend**. Open-loop runs can
+instead select ``backend="fluid"`` — the vectorized engine in
+:mod:`repro.sim.fluid` that replays the same scenario as numpy array
+passes at millions of simulated requests per second, pinned
+distribution-equivalent to this engine by
+``tests/test_fluid_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -138,6 +145,7 @@ class _Client:
         self.records: list[OperationRecord] = []
         self.running = False
         self.timeouts_total = 0
+        self.requests_sent = 0
         self._pending = 0
         self._issued_at = 0.0
         self._first_issued_at = 0.0
@@ -165,6 +173,7 @@ class _Client:
             for w in nodes
         )
         self._pending = len(nodes)
+        self.requests_sent += len(nodes)
         for w, count in zip(nodes, multiplicities):
             units = 1 if self.coalesce else int(count)
             message = _Access(
@@ -219,7 +228,14 @@ class _Client:
 
 @dataclass(frozen=True)
 class GenericSimResult:
-    """Outcome of a generic quorum-protocol simulation."""
+    """Outcome of a generic quorum-protocol simulation.
+
+    The request counters obey **exact conservation**: every request a
+    client issued was processed by a server, dropped by a crash, or is
+    still in flight (in the network, queued, or in service) at the
+    horizon — ``requests_issued == requests_processed + requests_dropped
+    + requests_in_flight`` on both backends, to the unit.
+    """
 
     stats: ResponseTimeStats
     per_node_request_rate: np.ndarray
@@ -227,6 +243,9 @@ class GenericSimResult:
     operations_completed: int
     timeouts_total: int = 0
     requests_dropped: int = 0
+    requests_issued: int = 0
+    requests_processed: int = 0
+    requests_in_flight: int = 0
 
 
 class GenericQuorumSimulation:
@@ -260,7 +279,14 @@ class GenericQuorumSimulation:
         crashed or saturated — the regime where queueing collapse and
         failure brittleness are visible, which closed loops self-throttle
         away.
+    backend:
+        ``"events"`` (default) runs the reference discrete-event engine;
+        ``"fluid"`` runs the vectorized backend in
+        :mod:`repro.sim.fluid` — open-loop only, ~two orders of magnitude
+        faster, distribution-equivalent (see that module's contract).
     """
+
+    BACKENDS = ("events", "fluid")
 
     def __init__(
         self,
@@ -274,6 +300,7 @@ class GenericQuorumSimulation:
         failures: FailureSchedule | None = None,
         timeout_ms: float = 0.0,
         arrivals: PoissonArrivals | None = None,
+        backend: str = "events",
     ) -> None:
         if service_time_ms < 0:
             raise SimulationError("service time must be non-negative")
@@ -282,9 +309,23 @@ class GenericQuorumSimulation:
                 "failure injection requires a positive client timeout "
                 "(otherwise accesses through crashed nodes hang forever)"
             )
+        if backend not in self.BACKENDS:
+            raise SimulationError(
+                f"unknown simulation backend {backend!r}; choose from "
+                f"{self.BACKENDS}"
+            )
+        if backend == "fluid" and arrivals is None:
+            raise SimulationError(
+                "the fluid backend is open-loop only; pass arrivals= "
+                "(closed-loop feedback needs the event engine)"
+            )
         self.placed = placed
         self.strategy = strategy
         self.arrivals = arrivals
+        self.backend = backend
+        self.failures = failures
+        self.service_time_ms = service_time_ms
+        self.network_jitter_ms = network_jitter_ms
         self.sim = Simulator()
         self.network = SimNetwork(
             self.sim, placed.topology, jitter_ms=network_jitter_ms, seed=seed
@@ -431,7 +472,17 @@ class GenericQuorumSimulation:
         stagger_ms: float = 1.0,
     ) -> GenericSimResult:
         """Run the workload (closed loop, or open loop with ``arrivals``)
-        and summarize."""
+        and summarize.
+
+        Dispatches on the ``backend`` knob: the event engine executes the
+        scenario message by message; the fluid backend computes the same
+        open-loop scenario as array passes (``stagger_ms`` only applies
+        to closed loops and is ignored there).
+        """
+        if self.backend == "fluid":
+            from repro.sim.fluid import run_fluid
+
+            return run_fluid(self, duration_ms, warmup_ms=warmup_ms)
         if self.arrivals is not None:
             self.clients, times = self._build_open_loop_clients(duration_ms)
             for client, start_at in zip(self.clients, times):
@@ -455,13 +506,19 @@ class GenericQuorumSimulation:
         for idx, (node, server) in enumerate(sorted(self.servers.items())):
             rates[node] = server.requests_processed / elapsed
             utils[idx] = min(1.0, server.busy_time_ms / elapsed)
+        issued = sum(c.requests_sent for c in self.clients)
+        processed = sum(
+            s.requests_processed for s in self.servers.values()
+        )
+        dropped = sum(s.requests_dropped for s in self.servers.values())
         return GenericSimResult(
             stats=stats,
             per_node_request_rate=rates,
             server_utilizations=utils,
             operations_completed=stats.n_operations,
             timeouts_total=sum(c.timeouts_total for c in self.clients),
-            requests_dropped=sum(
-                s.requests_dropped for s in self.servers.values()
-            ),
+            requests_dropped=dropped,
+            requests_issued=issued,
+            requests_processed=processed,
+            requests_in_flight=issued - processed - dropped,
         )

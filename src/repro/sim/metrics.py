@@ -4,6 +4,16 @@ Each completed operation contributes one :class:`OperationRecord`; the
 summary drops a configurable warmup prefix (queues need time to reach
 steady state) and reports the statistics the paper plots: mean response
 time and mean network delay, plus dispersion measures for sanity checks.
+
+Two entry points produce the same :class:`ResponseTimeStats`:
+
+* :func:`summarize` consumes a list of records (the event engine's
+  natural output);
+* :func:`summarize_arrays` is the **columnar** path — plain numpy arrays
+  in, stats out, no per-operation Python objects. The fluid backend
+  summarizes a million operations through it without ever materializing
+  a million ``OperationRecord`` instances; :func:`summarize` is now a
+  thin wrapper that gathers its records into arrays and delegates.
 """
 
 from __future__ import annotations
@@ -14,7 +24,12 @@ import numpy as np
 
 from repro.errors import SimulationError
 
-__all__ = ["OperationRecord", "ResponseTimeStats", "summarize"]
+__all__ = [
+    "OperationRecord",
+    "ResponseTimeStats",
+    "summarize",
+    "summarize_arrays",
+]
 
 
 @dataclass(frozen=True)
@@ -52,11 +67,80 @@ class ResponseTimeStats:
     median_response_ms: float
     p95_response_ms: float
     std_response_ms: float
+    p99_response_ms: float = float("nan")
 
     @property
     def mean_processing_ms(self) -> float:
         """Mean queueing+service component (the paper's "processing delay")."""
         return self.mean_response_ms - self.mean_network_delay_ms
+
+    @property
+    def p50_response_ms(self) -> float:
+        """Alias for the median, in the pXX naming used by the sweeps."""
+        return self.median_response_ms
+
+    def percentiles(self) -> dict[str, float]:
+        """The p50/p95/p99 triple, keyed for figure metadata."""
+        return {
+            "p50_response_ms": self.p50_response_ms,
+            "p95_response_ms": self.p95_response_ms,
+            "p99_response_ms": self.p99_response_ms,
+        }
+
+
+def summarize_arrays(
+    issued_at_ms: np.ndarray,
+    completed_at_ms: np.ndarray,
+    network_delay_ms: np.ndarray,
+    client_ids: np.ndarray | None = None,
+    warmup_ms: float = 0.0,
+    per_client: bool = True,
+) -> ResponseTimeStats:
+    """Columnar :func:`summarize`: arrays of per-operation columns in,
+    :class:`ResponseTimeStats` out.
+
+    ``client_ids`` groups operations into clients for the per-client mean
+    (the paper's ``avg_v Delta_f(v)`` weighting); ``None`` means every
+    operation is its own client — the open-loop convention, where the two
+    weightings coincide — in which case the means are plain per-operation
+    means.
+    """
+    issued = np.asarray(issued_at_ms, dtype=np.float64)
+    completed = np.asarray(completed_at_ms, dtype=np.float64)
+    network = np.asarray(network_delay_ms, dtype=np.float64)
+    keep = issued >= warmup_ms
+    if not np.any(keep):
+        raise SimulationError(
+            "no operations completed after warmup; run longer or reduce "
+            "the warmup window"
+        )
+    response = completed[keep] - issued[keep]
+    network = network[keep]
+
+    if per_client and client_ids is not None:
+        ids = np.asarray(client_ids)[keep]
+        _, inverse = np.unique(ids, return_inverse=True)
+        counts = np.bincount(inverse)
+        mean_response = float(
+            (np.bincount(inverse, weights=response) / counts).mean()
+        )
+        mean_network = float(
+            (np.bincount(inverse, weights=network) / counts).mean()
+        )
+    else:
+        mean_response = float(response.mean())
+        mean_network = float(network.mean())
+
+    p50, p95, p99 = np.percentile(response, [50.0, 95.0, 99.0])
+    return ResponseTimeStats(
+        n_operations=int(response.size),
+        mean_response_ms=mean_response,
+        mean_network_delay_ms=mean_network,
+        median_response_ms=float(p50),
+        p95_response_ms=float(p95),
+        std_response_ms=float(response.std()),
+        p99_response_ms=float(p99),
+    )
 
 
 def summarize(
@@ -69,37 +153,21 @@ def summarize(
     With ``per_client`` (default) the means are **averages of per-client
     means**, matching the paper's objective ``avg_{v} Delta_f(v)``: in a
     closed loop, clients near the quorums complete more operations, so a
-    raw per-operation mean would over-weight them. Median/p95/std are
+    raw per-operation mean would over-weight them. Median/p95/p99/std are
     always per-operation (dispersion of individual requests).
     """
-    kept = [r for r in records if r.issued_at_ms >= warmup_ms]
-    if not kept:
+    if not records:
         raise SimulationError(
             "no operations completed after warmup; run longer or reduce "
             "the warmup window"
         )
-    response = np.asarray([r.response_time_ms for r in kept])
-    network = np.asarray([r.network_delay_ms for r in kept])
-
-    if per_client:
-        by_client: dict[int, list[int]] = {}
-        for i, record in enumerate(kept):
-            by_client.setdefault(record.client_id, []).append(i)
-        client_resp = [
-            response[idx].mean() for idx in by_client.values()
-        ]
-        client_net = [network[idx].mean() for idx in by_client.values()]
-        mean_response = float(np.mean(client_resp))
-        mean_network = float(np.mean(client_net))
-    else:
-        mean_response = float(response.mean())
-        mean_network = float(network.mean())
-
-    return ResponseTimeStats(
-        n_operations=len(kept),
-        mean_response_ms=mean_response,
-        mean_network_delay_ms=mean_network,
-        median_response_ms=float(np.median(response)),
-        p95_response_ms=float(np.percentile(response, 95)),
-        std_response_ms=float(response.std()),
+    return summarize_arrays(
+        issued_at_ms=np.array([r.issued_at_ms for r in records]),
+        completed_at_ms=np.array([r.completed_at_ms for r in records]),
+        network_delay_ms=np.array([r.network_delay_ms for r in records]),
+        client_ids=np.array([r.client_id for r in records])
+        if per_client
+        else None,
+        warmup_ms=warmup_ms,
+        per_client=per_client,
     )

@@ -35,12 +35,16 @@ class PoissonArrivals:
         if horizon_ms <= 0:
             raise SimulationError("horizon must be positive")
         rng = np.random.default_rng(self.seed)
-        # Draw ~20% more exponential gaps than expected, extend if short.
-        expected = int(self.rate_per_ms * horizon_ms * 1.2) + 16
-        gaps = rng.exponential(1.0 / self.rate_per_ms, size=expected)
+        # Draw ~20% more exponential gaps than expected; if the horizon is
+        # not yet covered, extend with geometrically growing chunks so a
+        # badly under-estimated first draw costs O(log) extra draws, not
+        # O(n) fixed-size top-ups.
+        chunk = int(self.rate_per_ms * horizon_ms * 1.2) + 16
+        gaps = rng.exponential(1.0 / self.rate_per_ms, size=chunk)
         times = np.cumsum(gaps)
         while times.size and times[-1] < horizon_ms:
-            more = rng.exponential(1.0 / self.rate_per_ms, size=expected)
+            chunk *= 2
+            more = rng.exponential(1.0 / self.rate_per_ms, size=chunk)
             times = np.concatenate([times, times[-1] + np.cumsum(more)])
         return times[times < horizon_ms]
 
@@ -55,7 +59,5 @@ def spread_clients(
     """
     if clients_per_site < 1:
         raise SimulationError("clients_per_site must be >= 1")
-    assignment: list[int] = []
-    for site in np.asarray(sites, dtype=np.intp):
-        assignment.extend([int(site)] * clients_per_site)
-    return assignment
+    sites_arr = np.asarray(sites, dtype=np.intp)
+    return np.repeat(sites_arr, clients_per_site).tolist()

@@ -160,3 +160,137 @@ class TestDynamicsTraceComposition:
         schedule.add(4, 2000.0, 5000.0)  # overlapping manual outage
         assert schedule.windows == (CrashWindow(4, 1000.0, 5000.0),)
         assert schedule.downtime(4, 5000.0) == pytest.approx(4000.0)
+
+
+class TestRequestConservation:
+    """Every request the clients issue must be accounted for exactly:
+    ``issued == processed + dropped + in_flight``."""
+
+    SCHEDULE = [CrashWindow(4, 500.0, 2500.0), CrashWindow(0, 1000.0, 1500.0)]
+
+    @staticmethod
+    def _conserved(result):
+        return result.requests_issued == (
+            result.requests_processed
+            + result.requests_dropped
+            + result.requests_in_flight
+        )
+
+    def test_identity_holds_without_failures(self, maj_placed):
+        _sim, result = _run(maj_placed, rate=0.05)
+        assert result.requests_issued > 0
+        assert self._conserved(result)
+        assert result.requests_in_flight >= 0
+
+    def test_identity_holds_across_failure_windows(self, maj_placed):
+        _sim, result = _run(
+            maj_placed,
+            rate=0.05,
+            schedule=FailureSchedule(list(self.SCHEDULE)),
+        )
+        assert result.requests_dropped > 0
+        assert self._conserved(result)
+        assert result.requests_in_flight >= 0
+
+    def test_in_flight_drains_to_zero_with_a_long_horizon(self, maj_placed):
+        """Arrivals stop at the horizon but events keep firing until the
+        clock runs out; with ample slack after the last arrival and the
+        last crash window, nothing can still be in flight."""
+        sim = GenericQuorumSimulation(
+            maj_placed,
+            ThresholdBalancedStrategy(),
+            client_nodes=np.array([0, 5, 9]),
+            service_time_ms=1.0,
+            failures=FailureSchedule(list(self.SCHEDULE)),
+            timeout_ms=250.0,
+            seed=3,
+            arrivals=PoissonArrivals(rate_per_ms=0.05, seed=4),
+        )
+        # Arrivals land in [0, 4000); +6000 ms of slack dwarfs every
+        # RTT/timeout/retry chain on the 9-hop line.
+        result = sim.run(duration_ms=10_000.0)
+        assert self._conserved(result)
+        assert result.requests_in_flight == 0
+
+
+class TestServerCrashDropsQueue:
+    """Unit-level pin of the `_Server` crash semantics the fluid backend's
+    drop masks approximate: a crash takes the in-flight request *and* the
+    queue with it, each drop counted exactly once."""
+
+    def _server(self, line_topology, windows):
+        from repro.sim.engine import Simulator
+        from repro.sim.generic import _Access, _Server
+        from repro.sim.network import SimNetwork
+
+        sim = Simulator()
+        network = SimNetwork(sim, line_topology)
+        server = _Server(
+            node=4,
+            service_time_ms=10.0,
+            sim=sim,
+            network=network,
+            failures=FailureSchedule(windows),
+        )
+        replies = []
+        def access():
+            return _Access(
+                client_node=4, units=1,
+                on_reply=lambda m: replies.append(sim.now),
+            )
+        return sim, server, access, replies
+
+    def test_crash_drops_in_flight_and_queued(self, line_topology):
+        sim, server, access, replies = self._server(
+            line_topology, [CrashWindow(4, 5.0, 50.0)]
+        )
+        # Three requests before the crash: one enters service (reply due
+        # at t=10, inside the window), two queue behind it.
+        for t in (0.0, 1.0, 2.0):
+            sim.schedule_at(t, lambda: server.on_request(access()))
+        # One request lands mid-window (t=20): dropped on arrival.
+        sim.schedule_at(20.0, lambda: server.on_request(access()))
+        # One lands after recovery (t=60): processed normally.
+        sim.schedule_at(60.0, lambda: server.on_request(access()))
+        sim.run(until=100.0)
+
+        issued = 5
+        assert server.requests_dropped == 4  # 1 in flight + 2 queued + 1 down
+        assert server.requests_processed == 1
+        assert replies == [70.0]  # t=60 arrival + 10 ms service, same node
+        assert not server.queue and not server.busy
+        assert issued == server.requests_processed + server.requests_dropped
+
+
+class TestWorkloadHelpers:
+    """Satellite pins for the vectorized workload helpers."""
+
+    def test_sample_until_deterministic_and_sorted(self):
+        a = PoissonArrivals(rate_per_ms=0.7, seed=42)
+        t1 = a.sample_until(5_000.0)
+        t2 = PoissonArrivals(rate_per_ms=0.7, seed=42).sample_until(5_000.0)
+        np.testing.assert_array_equal(t1, t2)
+        assert t1.size > 0
+        assert np.all(t1 < 5_000.0)
+        assert np.all(np.diff(t1) >= 0)
+
+    def test_sample_until_covers_an_underestimated_horizon(self):
+        """The geometric-growth extension path: a tiny rate forces the
+        initial chunk to undershoot the horizon repeatedly."""
+        a = PoissonArrivals(rate_per_ms=0.0005, seed=9)
+        times = a.sample_until(100_000.0)
+        assert np.all(times < 100_000.0)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_spread_clients_matches_naive_construction(self):
+        sites = np.array([3, 1, 7])
+        got = spread_clients(sites, 4)
+        naive = [int(s) for s in sites for _ in range(4)]
+        assert got == naive
+        assert all(isinstance(v, int) for v in got)
+
+    def test_spread_clients_rejects_nonpositive_counts(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            spread_clients(np.array([0, 1]), 0)
