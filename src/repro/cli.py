@@ -17,6 +17,8 @@ time. Subcommands::
     python -m repro dynamics --scenario mixed --epochs 24 --jobs 2
     python -m repro dynamics --scenario diurnal --policies static,threshold:0.1
     python -m repro dynamics --scenario mixed --simulate-rate 0.5
+    python -m repro dynamics --scenario diurnal --closed-loop --noise 0.1
+    python -m repro dynamics --closed-loop --tune-thresholds 0.02,0.05,0.2
 
 ``--jobs`` parallelizes the independent units of work (placement
 candidates for ``plan``, grid points for ``figure``) over worker
@@ -38,7 +40,8 @@ import numpy as np
 from repro.analysis.fault_tolerance import crash_tolerance
 from repro.core.response_time import alpha_from_demand, evaluate
 from repro.core.strategy import ExplicitStrategy
-from repro.dynamics.replay import replay, simulate_placements
+from repro.dynamics.replay import replay, simulate_placements, tune_threshold
+from repro.dynamics.telemetry import TelemetryConfig
 from repro.dynamics.scenarios import (
     diurnal_scenario,
     flash_crowd_scenario,
@@ -297,6 +300,14 @@ def _cmd_dynamics(args) -> int:
         raise ReproError(
             f"--candidates must be >= 0, got {args.candidates}"
         )
+    if args.noise is not None and not args.closed_loop:
+        raise ReproError("--noise requires --closed-loop")
+    if args.tune_thresholds is not None and not args.closed_loop:
+        raise ReproError("--tune-thresholds requires --closed-loop")
+    telemetry = None
+    if args.closed_loop:
+        noise = 0.05 if args.noise is None else args.noise
+        telemetry = TelemetryConfig(noise=noise, seed=args.seed)
     trace = _dynamics_trace(topology, args.scenario, args.epochs, args.seed)
     policies = tuple(
         spec for spec in (p.strip() for p in args.policies.split(","))
@@ -308,15 +319,42 @@ def _cmd_dynamics(args) -> int:
         else np.argsort(topology.mean_distances())[: args.candidates]
     )
     with GridRunner(jobs=args.jobs) as runner:
-        result = replay(
-            topology,
-            system,
-            trace,
-            policies=policies,
-            mode=args.mode,
-            candidates=candidates,
-            runner=runner,
-        )
+        if args.tune_thresholds is not None:
+            try:
+                thresholds = tuple(
+                    float(part)
+                    for part in args.tune_thresholds.split(",")
+                    if part.strip()
+                )
+            except ValueError:
+                raise ReproError(
+                    "--tune-thresholds expects comma-separated numbers, "
+                    f"got {args.tune_thresholds!r}"
+                ) from None
+            tuning = tune_threshold(
+                topology,
+                system,
+                trace,
+                thresholds=thresholds,
+                telemetry=telemetry,
+                mode=args.mode,
+                baseline_policies=("static",),
+                candidates=candidates,
+                runner=runner,
+            )
+            print(tuning.render_text())
+            result = tuning.result
+        else:
+            result = replay(
+                topology,
+                system,
+                trace,
+                policies=policies,
+                mode=args.mode,
+                candidates=candidates,
+                runner=runner,
+                telemetry=telemetry,
+            )
     print(result.render_text())
     if args.simulate_rate > 0:
         rows = simulate_placements(
@@ -432,6 +470,20 @@ def build_parser() -> argparse.ArgumentParser:
     dynamics.add_argument("--jobs", type=int, default=1, metavar="N",
                           help="worker processes for placement and "
                           "replay points (0 = all cores)")
+    dynamics.add_argument("--closed-loop", action="store_true",
+                          help="drive adaptation from noisy telemetry "
+                          "estimates (per-epoch simulator probes) instead "
+                          "of oracle trace state; the clairvoyant "
+                          "baseline stays oracle")
+    dynamics.add_argument("--noise", type=float, default=None,
+                          metavar="STD",
+                          help="relative telemetry measurement noise "
+                          "(default 0.05; requires --closed-loop)")
+    dynamics.add_argument("--tune-thresholds", default=None,
+                          metavar="X1,X2,...",
+                          help="auto-tune threshold:<x> over these "
+                          "candidates on the replayed trace and report "
+                          "the sweep (requires --closed-loop)")
     dynamics.add_argument("--simulate-rate", type=float, default=0.0,
                           metavar="OPS_PER_MS",
                           help="after the replay, cross-check each "

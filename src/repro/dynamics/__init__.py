@@ -37,7 +37,14 @@ from repro.dynamics.replay import (
     CLAIRVOYANT,
     DynamicsResult,
     PolicySeries,
+    ThresholdTuning,
     replay,
+    tune_threshold,
+)
+from repro.dynamics.telemetry import (
+    TelemetryConfig,
+    TelemetryEstimator,
+    probe_epoch,
 )
 from repro.dynamics.scenarios import (
     combine,
@@ -68,9 +75,15 @@ __all__ = [
     "ThresholdPolicy",
     "parse_policy",
     "SegmentSeries",
+    # telemetry
+    "TelemetryConfig",
+    "TelemetryEstimator",
+    "probe_epoch",
     # replay
     "replay",
+    "tune_threshold",
     "DynamicsResult",
     "PolicySeries",
+    "ThresholdTuning",
     "CLAIRVOYANT",
 ]

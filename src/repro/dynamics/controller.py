@@ -42,6 +42,11 @@ import numpy as np
 from repro.core.placement import PlacedQuorumSystem, Placement
 from repro.core.strategy import ExplicitStrategy
 from repro.dynamics.events import effective_rtt
+from repro.dynamics.telemetry import (
+    TelemetryConfig,
+    TelemetryEstimator,
+    probe_epoch,
+)
 from repro.errors import DynamicsError, InfeasibleError
 from repro.network.graph import Topology
 from repro.quorums.base import QuorumSystem
@@ -163,13 +168,22 @@ class SegmentSeries:
 
     All arrays share the segment's epoch count. ``expected_delay`` is the
     expected network delay of the strategy in force at the end of each
-    epoch, measured under that epoch's drifted RTTs; ``max_overload`` is
-    the worst per-node capacity violation of that strategy under the
-    epoch's capacities (a *stale* strategy can undercut a freshly
-    optimized one on raw delay precisely by overloading crunched nodes —
-    this series is what keeps that visible); ``lp_solves`` counts solver
-    invocations charged to the epoch (anchor calibrations included),
-    ``assemblies`` full program assemblies.
+    epoch, measured under that epoch's **true** drifted RTTs — also in
+    closed-loop runs, where decisions were made from estimates;
+    ``max_overload`` is the worst per-node capacity violation of that
+    strategy under the epoch's capacities (a *stale* strategy can
+    undercut a freshly optimized one on raw delay precisely by
+    overloading crunched nodes — this series is what keeps that
+    visible); ``lp_solves`` counts solver invocations charged to the
+    epoch (anchor calibrations included), ``assemblies`` full program
+    assemblies.
+
+    The last three series are the closed loop's: ``estimation_error`` is
+    the mean relative error of the estimated delay matrix against the
+    true one, ``staleness`` the mean age (epochs) of the per-pair RTT
+    estimates, and ``probe_operations`` how many simulated probe replies
+    fed the epoch's estimate. All three are identically zero in oracle
+    (open-loop) replays.
     """
 
     expected_delay: np.ndarray
@@ -178,6 +192,30 @@ class SegmentSeries:
     max_overload: np.ndarray
     lp_solves: np.ndarray
     assemblies: np.ndarray
+    estimation_error: np.ndarray
+    staleness: np.ndarray
+    probe_operations: np.ndarray
+
+    def __post_init__(self) -> None:
+        arrays = [
+            self.expected_delay,
+            self.reoptimized,
+            self.infeasible,
+            self.max_overload,
+            self.lp_solves,
+            self.assemblies,
+            self.estimation_error,
+            self.staleness,
+            self.probe_operations,
+        ]
+        if any(a.ndim != 1 for a in arrays):
+            raise DynamicsError("segment series must be 1-D arrays")
+        lengths = {a.shape[0] for a in arrays}
+        if len(lengths) != 1:
+            raise DynamicsError(
+                "segment series must share the segment's epoch count; "
+                f"got lengths {sorted(lengths)}"
+            )
 
 
 def _expected_delay(matrix: np.ndarray, delta: np.ndarray) -> float:
@@ -200,6 +238,15 @@ class AdaptiveController:
         re-optimization.
     backend:
         LP backend override, passed through to the programs.
+    telemetry:
+        A :class:`~repro.dynamics.telemetry.TelemetryConfig` switches the
+        controller to **closed-loop** operation: every epoch it probes
+        the placed system through the simulator, folds the observed
+        response times into a
+        :class:`~repro.dynamics.telemetry.TelemetryEstimator`, and makes
+        all decisions — the policy's ``should_reoptimize`` and the warm
+        LP's objective/RHS — from the *estimates*. The oracle scenario
+        values are used only to score the resulting strategies.
     """
 
     def __init__(
@@ -208,6 +255,7 @@ class AdaptiveController:
         policy,
         mode: str = "incremental",
         backend: str | None = None,
+        telemetry: TelemetryConfig | None = None,
     ) -> None:
         if mode not in REPLAY_MODES:
             raise DynamicsError(
@@ -217,6 +265,7 @@ class AdaptiveController:
         self.policy = policy
         self.mode = mode
         self.backend = backend
+        self.telemetry = telemetry
         self._program: StrategyProgram | None = None
         self._synced_delta: np.ndarray | None = None
         self._uniform = np.full(
@@ -268,6 +317,13 @@ class AdaptiveController:
         An infeasible re-optimization keeps the strategy in force (the
         segment's first epoch falls back to the uniform strategy) and is
         recorded, never silently dropped.
+
+        In closed-loop runs (``telemetry`` set) the per-epoch stacks
+        describe the **world the probe traffic traverses**; the policy
+        and the LP see only the estimator's view of it. Probe seeds are
+        ``config.seed + epoch`` and the measurement-noise stream is one
+        seeded generator consumed in epoch order, so closed-loop replays
+        stay pure functions of their inputs (``jobs=N`` bit-identical).
         """
         factors = np.asarray(rtt_factors, dtype=np.float64)
         caps = np.asarray(capacities, dtype=np.float64)
@@ -280,9 +336,17 @@ class AdaptiveController:
 
         base_rtt = self.placed.topology.rtt
         delta: np.ndarray | None = None
+        effective: np.ndarray | None = None
         matrix: np.ndarray | None = None
         value_at_reopt = np.inf
         retry_pending = False  # last attempt was infeasible: keep trying
+
+        telemetry = self.telemetry
+        estimator = None
+        noise_rng = None
+        if telemetry is not None:
+            estimator = TelemetryEstimator(self.placed, telemetry)
+            noise_rng = np.random.default_rng([telemetry.seed, 0x7E1E])
 
         out = SegmentSeries(
             expected_delay=np.zeros(n_epochs),
@@ -291,23 +355,53 @@ class AdaptiveController:
             max_overload=np.zeros(n_epochs),
             lp_solves=np.zeros(n_epochs, dtype=np.intp),
             assemblies=np.zeros(n_epochs, dtype=np.intp),
+            estimation_error=np.zeros(n_epochs),
+            staleness=np.zeros(n_epochs),
+            probe_operations=np.zeros(n_epochs, dtype=np.intp),
         )
         incidence = self.placed.incidence_counts  # (quorums, nodes)
         for i in range(n_epochs):
             if delta is None or changed[i]:
-                delta = self.placed.delay_matrix_for(
-                    effective_rtt(base_rtt, factors[i])
+                effective = effective_rtt(base_rtt, factors[i])
+                delta = self.placed.delay_matrix_for(effective)
+            if telemetry is None:
+                decision_delta, decision_caps = delta, caps[i]
+            else:
+                # Probe the world with the strategy actually in force
+                # (the uniform fallback before anything is), estimate,
+                # and decide from the estimates only.
+                probe_matrix = matrix if matrix is not None else (
+                    self._uniform
                 )
+                sample = probe_epoch(
+                    self.placed,
+                    probe_matrix,
+                    effective,
+                    caps[i],
+                    telemetry,
+                    seed=telemetry.seed + i,
+                )
+                estimator.observe(sample, noise_rng)
+                decision_delta = self.placed.delay_matrix_for(
+                    estimator.rtt_estimate
+                )
+                decision_caps = estimator.capacity_estimate
+                out.estimation_error[i] = float(
+                    np.abs(decision_delta - delta).mean()
+                    / max(float(delta.mean()), 1e-12)
+                )
+                out.staleness[i] = estimator.mean_staleness
+                out.probe_operations[i] = int(sample.counts.sum())
             if matrix is None or retry_pending:
                 reopt = True  # nothing in force yet, or last attempt failed
             else:
-                value_now = _expected_delay(matrix, delta)
+                value_now = _expected_delay(matrix, decision_delta)
                 reopt = self.policy.should_reoptimize(
                     i, value_now, value_at_reopt
                 )
             if reopt:
                 new_matrix, solves, builds = self._reoptimize(
-                    delta, caps[i]
+                    decision_delta, decision_caps
                 )
                 out.lp_solves[i] = solves
                 out.assemblies[i] = builds
@@ -320,7 +414,9 @@ class AdaptiveController:
                     out.reoptimized[i] = True
                     retry_pending = False
                     matrix = new_matrix
-                    value_at_reopt = _expected_delay(matrix, delta)
+                    value_at_reopt = _expected_delay(
+                        matrix, decision_delta
+                    )
             out.expected_delay[i] = _expected_delay(matrix, delta)
             loads = (matrix @ incidence).mean(axis=0)
             out.max_overload[i] = float(
@@ -339,15 +435,21 @@ def replay_segment(
     policy: str,
     mode: str = "incremental",
     backend: str | None = None,
+    telemetry: TelemetryConfig | None = None,
 ) -> SegmentSeries:
     """Module-level segment replay (picklable — the replay driver's grid
     point function).
 
     ``topology`` and ``assignment`` live in the segment's member node
-    space; ``policy`` is a spec string (see :func:`parse_policy`).
+    space; ``policy`` is a spec string (see :func:`parse_policy`);
+    ``telemetry`` switches the controller to closed-loop operation.
     """
     placed = PlacedQuorumSystem(system, Placement(assignment), topology)
     controller = AdaptiveController(
-        placed, parse_policy(policy), mode=mode, backend=backend
+        placed,
+        parse_policy(policy),
+        mode=mode,
+        backend=backend,
+        telemetry=telemetry,
     )
     return controller.run_segment(rtt_factors, capacities, rtt_changed)

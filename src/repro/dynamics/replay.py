@@ -26,7 +26,7 @@ point a pure function of its inputs, so ``jobs=N`` is bit-identical to
 from __future__ import annotations
 
 from contextlib import ExitStack
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 import numpy as np
@@ -34,10 +34,12 @@ import numpy as np
 from repro.dynamics.controller import (
     REPLAY_MODES,
     SegmentSeries,
+    ThresholdPolicy,
     parse_policy,
     replay_segment,
 )
 from repro.dynamics.events import ScenarioTrace
+from repro.dynamics.telemetry import TelemetryConfig
 from repro.errors import DynamicsError
 from repro.lp import lp_backend_name
 from repro.network.graph import Topology
@@ -55,17 +57,29 @@ __all__ = [
     "CLAIRVOYANT",
     "DynamicsResult",
     "PolicySeries",
+    "ThresholdTuning",
     "replay",
     "simulate_placements",
+    "tune_threshold",
 ]
 
 #: Spec of the regret baseline: re-optimize at every epoch.
 CLAIRVOYANT = "clairvoyant"
 
+#: Per-segment telemetry seed stride: segment starts are < 100_003 epochs
+#: apart in any sane trace, so (segment, epoch) probe seeds never collide.
+_SEGMENT_SEED_STRIDE = 100_003
+
 
 @dataclass(frozen=True, eq=False)
 class PolicySeries:
-    """Full-timeline outcome of one policy (segments stitched together)."""
+    """Full-timeline outcome of one policy (segments stitched together).
+
+    ``estimation_error``/``staleness``/``probe_operations`` carry the
+    closed loop's measurement quality per epoch (identically zero for
+    oracle replays and for the clairvoyant baseline, which always sees
+    the truth).
+    """
 
     policy: str
     expected_delay: np.ndarray
@@ -74,6 +88,30 @@ class PolicySeries:
     max_overload: np.ndarray
     lp_solves: np.ndarray
     assemblies: np.ndarray
+    estimation_error: np.ndarray
+    staleness: np.ndarray
+    probe_operations: np.ndarray
+
+    def __post_init__(self) -> None:
+        arrays = [
+            self.expected_delay,
+            self.reoptimized,
+            self.infeasible,
+            self.max_overload,
+            self.lp_solves,
+            self.assemblies,
+            self.estimation_error,
+            self.staleness,
+            self.probe_operations,
+        ]
+        if any(a.ndim != 1 for a in arrays):
+            raise DynamicsError("policy series must be 1-D arrays")
+        lengths = {a.shape[0] for a in arrays}
+        if len(lengths) != 1:
+            raise DynamicsError(
+                "policy series must share the timeline's epoch count; "
+                f"got lengths {sorted(lengths)}"
+            )
 
     @property
     def cumulative_solves(self) -> np.ndarray:
@@ -88,6 +126,11 @@ class PolicySeries:
     @property
     def reopt_count(self) -> int:
         return int(self.reoptimized.sum())
+
+    @property
+    def mean_estimation_error(self) -> float:
+        """Mean relative delay-matrix estimation error over the timeline."""
+        return float(self.estimation_error.mean())
 
 
 @dataclass(frozen=True, eq=False)
@@ -119,6 +162,11 @@ class DynamicsResult:
         to do; read negative regret together with
         :attr:`PolicySeries.max_overload`.
         """
+        if policy not in self.series:
+            raise DynamicsError(
+                f"unknown policy {policy!r}; this replay ran "
+                f"{sorted(self.series)}"
+            )
         if CLAIRVOYANT not in self.series:
             raise DynamicsError(
                 "replay ran without the clairvoyant baseline; "
@@ -128,6 +176,10 @@ class DynamicsResult:
             self.series[policy].expected_delay
             - self.series[CLAIRVOYANT].expected_delay
         )
+
+    def cumulative_regret(self, policy: str) -> np.ndarray:
+        """Running sum of :meth:`regret` — total excess delay paid so far."""
+        return np.cumsum(self.regret(policy))
 
     def render_text(self) -> str:
         """Aligned per-epoch table plus a per-policy summary."""
@@ -163,6 +215,11 @@ class DynamicsResult:
             )
             if spec != CLAIRVOYANT and CLAIRVOYANT in self.series:
                 summary += f", mean regret {self.regret(spec).mean():.3f} ms"
+            if series.estimation_error.max() > 0:
+                summary += (
+                    f", mean est err "
+                    f"{100 * series.mean_estimation_error:.1f}%"
+                )
             if series.max_overload.max() > 1e-9:
                 summary += (
                     f", peak overload {series.max_overload.max():.3f}"
@@ -282,6 +339,7 @@ def replay(
     jobs: int | None = 1,
     cache: ResultCache | None = None,
     backend: str | None = None,
+    telemetry: TelemetryConfig | None = None,
 ) -> DynamicsResult:
     """Replay a scenario trace and measure how policies track the optimum.
 
@@ -315,6 +373,16 @@ def replay(
         ``cache`` is attached to it for the duration of the call (a
         runner already carrying a *different* cache raises), the same
         conflict contract as ``run_figure``.
+    telemetry:
+        A :class:`~repro.dynamics.telemetry.TelemetryConfig` runs every
+        policy **closed-loop**: decisions are made from simulated-probe
+        estimates instead of the oracle scenario values (see
+        :mod:`repro.dynamics.telemetry`). The ``clairvoyant`` baseline
+        deliberately stays oracle — it is the true-information optimum
+        that regret is defined against. Each segment's probes get a
+        distinct seed derived from ``telemetry.seed`` and the segment's
+        start epoch, and the configuration is part of every segment
+        point's cache key.
     """
     if mode not in REPLAY_MODES:
         raise DynamicsError(
@@ -404,7 +472,21 @@ def replay(
                 [states[t].rtt_changed for t in range(start, end)]
             )
             changed[0] = True  # segment entry always initializes
+            seg_telemetry = (
+                None
+                if telemetry is None
+                else replace(
+                    telemetry,
+                    seed=telemetry.seed + _SEGMENT_SEED_STRIDE * start,
+                )
+            )
             for spec in specs:
+                # The clairvoyant baseline stays oracle even in
+                # closed-loop replays: regret is defined against the
+                # true-information optimum.
+                point_telemetry = (
+                    None if spec == CLAIRVOYANT else seg_telemetry
+                )
                 kwargs = {
                     "topology": sub_topologies[index],
                     "system": system,
@@ -415,6 +497,7 @@ def replay(
                     "policy": "periodic:1" if spec == CLAIRVOYANT else spec,
                     "mode": mode,
                     "backend": backend,
+                    "telemetry": point_telemetry,
                 }
                 points.append(
                     GridPoint(
@@ -432,6 +515,9 @@ def replay(
                             "rtt_changed": changed,
                             "policy": kwargs["policy"],
                             "mode": mode,
+                            "telemetry": None
+                            if point_telemetry is None
+                            else point_telemetry.fingerprint_components(),
                             # Tied optima may break differently per solver
                             # path; never serve one backend's vertices to
                             # the other.
@@ -458,6 +544,13 @@ def replay(
             max_overload=np.concatenate([p.max_overload for p in parts]),
             lp_solves=np.concatenate([p.lp_solves for p in parts]),
             assemblies=np.concatenate([p.assemblies for p in parts]),
+            estimation_error=np.concatenate(
+                [p.estimation_error for p in parts]
+            ),
+            staleness=np.concatenate([p.staleness for p in parts]),
+            probe_operations=np.concatenate(
+                [p.probe_operations for p in parts]
+            ),
         )
 
     placements = tuple(
@@ -475,5 +568,151 @@ def replay(
             "system": system.name,
             "events": len(trace.events),
             "lp_backend": lp_backend_name() if backend is None else backend,
+            "closed_loop": telemetry is not None,
+            **(
+                {}
+                if telemetry is None
+                else {
+                    "telemetry_noise": telemetry.noise,
+                    "probe_backend": telemetry.sim_backend,
+                }
+            ),
         },
+    )
+
+
+@dataclass(frozen=True, eq=False)
+class ThresholdTuning:
+    """Outcome of a :func:`tune_threshold` sweep.
+
+    ``mean_regret``/``reopt_counts``/``lp_solves`` are keyed by canonical
+    threshold spec; ``result`` is the underlying :class:`DynamicsResult`
+    holding the full per-epoch series for every swept threshold (and any
+    ``baseline_policies``), so the winning policy's series never needs a
+    second replay.
+    """
+
+    thresholds: tuple[float, ...]
+    specs: tuple[str, ...]
+    mean_regret: dict[str, float]
+    reopt_counts: dict[str, int]
+    lp_solves: dict[str, int]
+    best_spec: str
+    best_threshold: float
+    result: DynamicsResult
+
+    def render_text(self) -> str:
+        lines = [
+            f"== threshold auto-tune: {len(self.specs)} candidate(s), "
+            f"{self.result.n_epochs} epochs =="
+        ]
+        width = max(14, *(len(s) + 2 for s in self.specs))
+        lines.append(
+            "".join(
+                h.rjust(w)
+                for h, w in (
+                    ("spec", width),
+                    ("mean regret", 14),
+                    ("reopts", 9),
+                    ("LP solves", 12),
+                )
+            )
+        )
+        for spec in self.specs:
+            marker = " *" if spec == self.best_spec else "  "
+            lines.append(
+                spec.rjust(width)
+                + f"{self.mean_regret[spec]:14.3f}"
+                + f"{self.reopt_counts[spec]:9d}"
+                + f"{self.lp_solves[spec]:12d}"
+                + marker
+            )
+        lines.append(
+            f"   best: {self.best_spec} "
+            f"(mean regret {self.mean_regret[self.best_spec]:.3f} ms)"
+        )
+        return "\n".join(lines)
+
+
+def tune_threshold(
+    topology: Topology,
+    system: QuorumSystem,
+    trace: ScenarioTrace,
+    thresholds: Sequence[float] = (0.01, 0.02, 0.05, 0.1, 0.2),
+    telemetry: TelemetryConfig | None = None,
+    mode: str = "incremental",
+    baseline_policies: Sequence[str] = (),
+    candidates: object = None,
+    runner: GridRunner | None = None,
+    jobs: int | None = 1,
+    cache: ResultCache | None = None,
+    backend: str | None = None,
+) -> ThresholdTuning:
+    """Auto-tune the ``threshold:<x>`` policy over a replayed trace.
+
+    Sweeps every candidate threshold through **one** :func:`replay` call:
+    all (policy, segment) points land as cache-keyed grid points on one
+    :class:`~repro.runtime.runner.GridRunner`, so the sweep parallelizes
+    across workers, stays bit-identical for ``jobs=N``, and reuses any
+    cached segments (the clairvoyant baseline and the placements are
+    shared by every candidate). The winner minimizes mean regret against
+    the clairvoyant optimum; exact ties break toward fewer LP solves,
+    then toward the larger (cheaper) threshold — deterministically.
+
+    ``baseline_policies`` (e.g. ``("static",)``) ride along in the same
+    replay for comparison but are not eligible to win.
+    """
+    parsed: list[ThresholdPolicy] = []
+    for value in thresholds:
+        try:
+            numeric = float(value)
+        except (TypeError, ValueError):
+            raise DynamicsError(
+                f"threshold candidates must be numbers, got {value!r}"
+            ) from None
+        policy = ThresholdPolicy(numeric)  # validates positivity
+        if policy.spec not in [p.spec for p in parsed]:
+            parsed.append(policy)
+    if not parsed:
+        raise DynamicsError(
+            "tune_threshold needs at least one candidate threshold"
+        )
+    specs = tuple(p.spec for p in parsed)
+
+    result = replay(
+        topology,
+        system,
+        trace,
+        policies=tuple(baseline_policies) + specs,
+        mode=mode,
+        include_clairvoyant=True,
+        candidates=candidates,
+        runner=runner,
+        jobs=jobs,
+        cache=cache,
+        backend=backend,
+        telemetry=telemetry,
+    )
+    mean_regret = {s: float(result.regret(s).mean()) for s in specs}
+    reopt_counts = {s: result.series[s].reopt_count for s in specs}
+    lp_solves = {
+        s: int(result.series[s].lp_solves.sum()) for s in specs
+    }
+    best = min(
+        parsed,
+        key=lambda p: (
+            mean_regret[p.spec],
+            lp_solves[p.spec],
+            -p.degradation,
+        ),
+    )
+    return ThresholdTuning(
+        thresholds=tuple(p.degradation for p in parsed),
+        specs=specs,
+        mean_regret=mean_regret,
+        reopt_counts=reopt_counts,
+        lp_solves=lp_solves,
+        best_spec=best.spec,
+        best_threshold=best.degradation,
+        result=result,
     )

@@ -21,6 +21,7 @@ from repro.experiments import (
     fig_7_7,
     fig_7_8,
     fig_8_9,
+    fig_closed_loop,
     fig_dyn,
     fig_scale,
     fig_throughput,
@@ -42,6 +43,7 @@ FIGURES: dict[str, Callable[..., FigureResult]] = {
     "fig_7_7": fig_7_7.run,
     "fig_7_8": fig_7_8.run,
     "fig_8_9": fig_8_9.run,
+    "fig_closed_loop": fig_closed_loop.run,
     "fig_dyn": fig_dyn.run,
     "fig_scale": fig_scale.run,
     "fig_throughput": fig_throughput.run,

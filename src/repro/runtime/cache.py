@@ -68,7 +68,12 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: filtering radius (was an absolute ``+ 1e-12``), so borderline nodes at
 #: planet-scale or micro-scale distances can filter differently, changing
 #: rounded many-to-one placements behind cached entries.
-CACHE_SCHEMA_VERSION = 5
+#:
+#: v6: dynamics segment series grew closed-loop columns
+#: (``estimation_error``/``staleness``/``probe_operations``), so pickled
+#: ``SegmentSeries`` payloads from earlier schemas no longer unpickle
+#: into the current dataclass shape.
+CACHE_SCHEMA_VERSION = 6
 
 
 def default_cache_dir() -> Path:

@@ -54,7 +54,7 @@ import numpy as np
 from repro.core.strategy import ExplicitStrategy
 from repro.errors import SimulationError
 from repro.quorums.threshold import ThresholdQuorumSystem
-from repro.sim.metrics import summarize_arrays
+from repro.sim.metrics import PairTelemetry, summarize_arrays
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.sim.generic import GenericQuorumSimulation, GenericSimResult
@@ -232,7 +232,10 @@ def run_fluid(
     rtt = sim.placed.topology.rtt
     failures = sim.failures
     jitter_ms = sim.network_jitter_ms
-    service_time = sim.service_time_ms
+    service_times = sim.service_times
+    uniform_service = sim.uniform_service
+    service_time = float(service_times[0]) if uniform_service else 0.0
+    telemetry_on = sim.collect_telemetry
     horizon = float(duration_ms)
 
     times = sim.arrivals.sample_until(duration_ms)
@@ -258,6 +261,9 @@ def run_fluid(
     req_service = np.empty(total, dtype=np.float64)
     req_one_way = np.empty(total, dtype=np.float64)
     net_delay = np.empty(n_ops, dtype=np.float64)
+    if telemetry_on:
+        req_client = np.empty(total, dtype=np.intp)
+        req_issue = np.empty(total, dtype=np.float64)
     slices = []
     offset = 0
     for ops, servers, units in blocks:
@@ -271,9 +277,17 @@ def run_fluid(
         req_server[offset:stop] = np.ravel(servers)
         req_one_way[offset:stop] = one_way.ravel()
         req_arrive[offset:stop] = arrive.ravel()
-        req_service[offset:stop] = np.broadcast_to(
-            service_time * units, (k, width)
-        ).ravel()
+        if uniform_service:
+            req_service[offset:stop] = np.broadcast_to(
+                service_time * units, (k, width)
+            ).ravel()
+        else:
+            req_service[offset:stop] = (
+                service_times[servers] * units
+            ).ravel()
+        if telemetry_on:
+            req_client[offset:stop] = np.repeat(op_node[ops], width)
+            req_issue[offset:stop] = np.repeat(times[ops], width)
         slices.append((ops, offset, stop, width))
         offset = stop
 
@@ -317,6 +331,33 @@ def run_fluid(
     reply = departure + req_one_way
     if jitter_ms > 0:
         reply = reply + rng.exponential(jitter_ms, size=total)
+
+    telemetry = None
+    if telemetry_on:
+        # Per-(client node, server) reply aggregation — the same
+        # decomposition the event engine's clients perform per reply
+        # (observed round-trip minus server residence), as two bincounts.
+        support = sim._telemetry_support
+        n_support = support.size
+        n_nodes = sim.placed.n_nodes
+        observed = ~req_dropped & (reply <= horizon)
+        col = np.searchsorted(support, req_server[observed])
+        key = req_client[observed] * n_support + col
+        samples = (req_arrive[observed] - req_issue[observed]) + (
+            reply[observed] - departure[observed]
+        )
+        size = n_nodes * n_support
+        telemetry = PairTelemetry(
+            support_nodes=support.copy(),
+            counts=np.bincount(key, minlength=size).reshape(
+                n_nodes, n_support
+            ),
+            rtt_sum_ms=np.bincount(
+                key, weights=samples, minlength=size
+            ).reshape(n_nodes, n_support),
+            service_ms=service_times[support].copy(),
+        )
+
     completion = np.empty(n_ops, dtype=np.float64)
     op_failed = np.zeros(n_ops, dtype=bool)
     for ops, start, stop, width in slices:
@@ -360,4 +401,5 @@ def run_fluid(
         requests_issued=total,
         requests_processed=requests_processed,
         requests_in_flight=total - requests_processed - requests_dropped,
+        telemetry=telemetry,
     )

@@ -34,7 +34,12 @@ from repro.errors import SimulationError
 from repro.sim.failures import FailureSchedule
 from repro.quorums.threshold import ThresholdQuorumSystem
 from repro.sim.engine import Simulator
-from repro.sim.metrics import OperationRecord, ResponseTimeStats, summarize
+from repro.sim.metrics import (
+    OperationRecord,
+    PairTelemetry,
+    ResponseTimeStats,
+    summarize,
+)
 from repro.sim.network import SimNetwork
 from repro.sim.workload import PoissonArrivals
 
@@ -73,6 +78,7 @@ class _Server:
             self.queue.clear()
             self.busy = False
             return
+        message.arrived_ms = self.sim.now
         self.queue.append(message)
         if not self.busy:
             self._next()
@@ -97,6 +103,11 @@ class _Server:
             self.busy = False
             return
         self.requests_processed += 1
+        # Server-side report piggybacked on the reply: which server
+        # answered and how long the request resided here (wait + service).
+        # Clients subtract it to isolate the network component.
+        message.server_node = self.node
+        message.residence_ms = self.sim.now - message.arrived_ms
         self.network.send(
             self.node,
             message.client_node,
@@ -114,6 +125,9 @@ class _Access:
     units: int
     attempt: int = 0
     on_reply: object = None
+    arrived_ms: float = 0.0
+    server_node: int = -1
+    residence_ms: float = 0.0
 
 
 class _Client:
@@ -131,8 +145,10 @@ class _Client:
         coalesce: bool,
         timeout_ms: float = 0.0,
         max_operations: int | None = None,
+        telemetry=None,
     ):
         self.client_id = client_id
+        self.telemetry = telemetry
         self.node = node
         self.sample_quorum = quorum_sampler
         self.sim = sim
@@ -200,6 +216,14 @@ class _Client:
             return
         if message.attempt != self._attempt:
             return  # reply from an abandoned attempt
+        if self.telemetry is not None:
+            # Decomposed network RTT: the reply's observed round-trip
+            # minus the residence time the server reported on it.
+            self.telemetry(
+                self.node,
+                message.server_node,
+                self.sim.now - self._issued_at - message.residence_ms,
+            )
         self._pending -= 1
         if self._pending > 0:
             return
@@ -246,6 +270,7 @@ class GenericSimResult:
     requests_issued: int = 0
     requests_processed: int = 0
     requests_in_flight: int = 0
+    telemetry: PairTelemetry | None = None
 
 
 class GenericQuorumSimulation:
@@ -266,7 +291,15 @@ class GenericQuorumSimulation:
         appear multiple times). Defaults to one client on every node, the
         paper's client model.
     service_time_ms:
-        Server processing time per request *unit* (element).
+        Server processing time per request *unit* (element). A scalar
+        applies uniformly; an ``(n_nodes,)`` array gives each node its
+        own per-unit service time (heterogeneous capacity — the closed
+        loop's load observability channel).
+    collect_telemetry:
+        Record per-(client node, server) reply aggregates — counts and
+        decomposed network-RTT sums — and attach them to the result as a
+        :class:`~repro.sim.metrics.PairTelemetry`. Supported on both
+        backends; this is what the telemetry-driven controller consumes.
     coalesce:
         Serve co-located elements of one access in a single unit (the
         future-work load model).
@@ -301,8 +334,20 @@ class GenericQuorumSimulation:
         timeout_ms: float = 0.0,
         arrivals: PoissonArrivals | None = None,
         backend: str = "events",
+        collect_telemetry: bool = False,
     ) -> None:
-        if service_time_ms < 0:
+        service_arr = np.asarray(service_time_ms, dtype=np.float64)
+        if service_arr.ndim == 0:
+            uniform_service = True
+            service_arr = np.full(placed.n_nodes, float(service_arr))
+        elif service_arr.shape == (placed.n_nodes,):
+            uniform_service = False
+        else:
+            raise SimulationError(
+                "service_time_ms must be a scalar or an (n_nodes,) array; "
+                f"got shape {service_arr.shape} for {placed.n_nodes} nodes"
+            )
+        if not np.all(np.isfinite(service_arr)) or np.any(service_arr < 0):
             raise SimulationError("service time must be non-negative")
         if failures is not None and timeout_ms <= 0:
             raise SimulationError(
@@ -324,7 +369,11 @@ class GenericQuorumSimulation:
         self.arrivals = arrivals
         self.backend = backend
         self.failures = failures
-        self.service_time_ms = service_time_ms
+        self.service_times = service_arr
+        self.uniform_service = uniform_service
+        self.service_time_ms = (
+            float(service_arr[0]) if uniform_service else service_arr
+        )
         self.network_jitter_ms = network_jitter_ms
         self.sim = Simulator()
         self.network = SimNetwork(
@@ -343,13 +392,24 @@ class GenericQuorumSimulation:
         self.servers = {
             int(w): _Server(
                 int(w),
-                service_time_ms,
+                float(service_arr[int(w)]),
                 self.sim,
                 self.network,
                 failures=failures,
             )
             for w in support
         }
+        self.collect_telemetry = collect_telemetry
+        self._telemetry_support = np.unique(
+            np.asarray(support, dtype=np.intp)
+        )
+        if collect_telemetry:
+            n_pairs = (placed.n_nodes, self._telemetry_support.size)
+            self._tel_counts = np.zeros(n_pairs, dtype=np.int64)
+            self._tel_rtt = np.zeros(n_pairs, dtype=np.float64)
+            self._tel_col = {
+                int(w): j for j, w in enumerate(self._telemetry_support)
+            }
         self._samplers = self._build_samplers()
         # Open-loop runs build their one-shot clients from the arrival
         # sequence at run() time (the horizon is known only there); only
@@ -365,9 +425,26 @@ class GenericQuorumSimulation:
                 rng=np.random.default_rng(seed * 69_941 + i),
                 coalesce=coalesce,
                 timeout_ms=timeout_ms,
+                telemetry=self._record_pair if collect_telemetry else None,
             )
             for i, node in enumerate(self.client_nodes)
         ]
+
+    def _record_pair(self, client_node, server_node, rtt_sample_ms) -> None:
+        col = self._tel_col[server_node]
+        self._tel_counts[client_node, col] += 1
+        self._tel_rtt[client_node, col] += rtt_sample_ms
+
+    def _telemetry_result(self) -> PairTelemetry | None:
+        if not self.collect_telemetry:
+            return None
+        support = self._telemetry_support
+        return PairTelemetry(
+            support_nodes=support.copy(),
+            counts=self._tel_counts.copy(),
+            rtt_sum_ms=self._tel_rtt.copy(),
+            service_ms=self.service_times[support].copy(),
+        )
 
     # ------------------------------------------------------------------
     # Quorum sampling
@@ -461,6 +538,9 @@ class GenericQuorumSimulation:
                 coalesce=self._coalesce,
                 timeout_ms=timeout,
                 max_operations=1,
+                telemetry=(
+                    self._record_pair if self.collect_telemetry else None
+                ),
             )
             for i, _t in enumerate(times)
         ], times
@@ -521,4 +601,5 @@ class GenericQuorumSimulation:
             requests_issued=issued,
             requests_processed=processed,
             requests_in_flight=issued - processed - dropped,
+            telemetry=self._telemetry_result(),
         )

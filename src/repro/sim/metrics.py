@@ -26,10 +26,47 @@ from repro.errors import SimulationError
 
 __all__ = [
     "OperationRecord",
+    "PairTelemetry",
     "ResponseTimeStats",
     "summarize",
     "summarize_arrays",
 ]
+
+
+@dataclass(frozen=True)
+class PairTelemetry:
+    """Per-(client node, server) measurement aggregates from one run.
+
+    What a production controller can actually observe: for every reply a
+    client received, the server reports its residence time (queueing +
+    service), and the client attributes the remainder of the reply's
+    round-trip to the network. Aggregated here as per-pair counts and
+    sums so a million replies cost two ``(n_nodes, S)`` arrays, where
+    ``S = len(support_nodes)``.
+
+    ``rtt_sum_ms[v, j]`` sums the *decomposed network* round-trip samples
+    (observed response minus server-reported residence) of replies from
+    ``support_nodes[j]`` to clients at node ``v``; ``counts[v, j]`` is how
+    many replies contributed. ``service_ms[j]`` is the per-unit service
+    time server ``j`` reports — the load/capacity side channel.
+    """
+
+    support_nodes: np.ndarray
+    counts: np.ndarray
+    rtt_sum_ms: np.ndarray
+    service_ms: np.ndarray
+
+    @property
+    def replies(self) -> np.ndarray:
+        """Replies observed per server, ``(S,)``."""
+        return self.counts.sum(axis=0)
+
+    def mean_rtt(self) -> np.ndarray:
+        """Per-pair mean network RTT sample; ``nan`` where no replies."""
+        counts = self.counts
+        return np.where(
+            counts > 0, self.rtt_sum_ms / np.maximum(counts, 1), np.nan
+        )
 
 
 @dataclass(frozen=True)

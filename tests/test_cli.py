@@ -107,3 +107,52 @@ class TestCommands:
         code = main(["dynamics", "--epochs", "4", "--candidates", "-3"])
         assert code == 1
         assert "candidates" in capsys.readouterr().err
+
+    def test_dynamics_closed_loop(self, capsys):
+        code = main(
+            [
+                "dynamics", "--system", "grid:2", "--epochs", "4",
+                "--scenario", "diurnal", "--candidates", "5",
+                "--policies", "static,threshold:0.1", "--closed-loop",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "closed_loop: True" in out
+        assert "telemetry_noise: 0.05" in out
+        assert "mean est err" in out
+
+    def test_dynamics_tune_thresholds(self, capsys):
+        code = main(
+            [
+                "dynamics", "--system", "grid:2", "--epochs", "4",
+                "--scenario", "diurnal", "--candidates", "5",
+                "--closed-loop", "--tune-thresholds", "0.05,0.5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "threshold auto-tune: 2 candidate(s)" in out
+        assert "best: threshold:" in out
+
+    def test_dynamics_noise_requires_closed_loop(self, capsys):
+        code = main(["dynamics", "--epochs", "4", "--noise", "0.1"])
+        assert code == 1
+        assert "--closed-loop" in capsys.readouterr().err
+
+    def test_dynamics_tune_requires_closed_loop(self, capsys):
+        code = main(
+            ["dynamics", "--epochs", "4", "--tune-thresholds", "0.1"]
+        )
+        assert code == 1
+        assert "--closed-loop" in capsys.readouterr().err
+
+    def test_dynamics_bad_tune_list_errors(self, capsys):
+        code = main(
+            [
+                "dynamics", "--epochs", "4", "--closed-loop",
+                "--tune-thresholds", "0.1,zap",
+            ]
+        )
+        assert code == 1
+        assert "comma-separated numbers" in capsys.readouterr().err

@@ -247,6 +247,9 @@ class TestPolicies:
         for spec in (
             "periodic", "periodic:x", "threshold:-1", "nope:1",
             "threshold:nan", "threshold:inf",  # would never re-optimize
+            "periodic:0", "periodic:-3",  # period must be >= 1
+            "threshold:0",  # zero degradation re-optimizes on noise
+            "", "periodic:1:2", "threshold:",
         ):
             with pytest.raises(DynamicsError):
                 parse_policy(spec)
@@ -421,6 +424,76 @@ class TestReplayValidation:
             replay(clustered_topology, GRID, trace)
 
 
+class TestResultAccessors:
+    @pytest.fixture(scope="class")
+    def result(self, clustered_topology):
+        trace = _mixed_trace(clustered_topology)
+        return replay(
+            clustered_topology, GRID, trace,
+            policies=("static", "threshold:0.05"),
+        )
+
+    def test_unknown_policy_regret_is_tagged(self, result):
+        """Regression: an unknown spec used to escape as a bare KeyError;
+        it must be a ReproError-family failure naming the known specs."""
+        with pytest.raises(DynamicsError, match="no-such-policy"):
+            result.regret("no-such-policy")
+        with pytest.raises(DynamicsError, match="threshold:0.05"):
+            result.regret("no-such-policy")
+
+    def test_cumulative_series_lengths_and_monotonicity(self, result):
+        n = result.n_epochs
+        for spec in result.series:
+            series = result.series[spec]
+            assert series.cumulative_solves.shape == (n,)
+            assert series.cumulative_assemblies.shape == (n,)
+            assert np.all(np.diff(series.cumulative_solves) >= 0)
+            assert np.all(np.diff(series.cumulative_assemblies) >= 0)
+            assert result.cumulative_regret(spec).shape == (n,)
+        cum = result.cumulative_regret("static")
+        assert cum[-1] == pytest.approx(float(result.regret("static").sum()))
+
+    def test_segment_series_rejects_mismatched_lengths(self):
+        from repro.dynamics.controller import SegmentSeries
+
+        kwargs = {
+            name: np.zeros(4)
+            for name in (
+                "expected_delay", "reoptimized", "infeasible",
+                "max_overload", "lp_solves", "assemblies",
+                "estimation_error", "staleness", "probe_operations",
+            )
+        }
+        SegmentSeries(**kwargs)  # consistent lengths are fine
+        with pytest.raises(DynamicsError, match="epoch count"):
+            SegmentSeries(**{**kwargs, "staleness": np.zeros(3)})
+        with pytest.raises(DynamicsError, match="1-D"):
+            SegmentSeries(**{**kwargs, "lp_solves": np.zeros((4, 1))})
+
+    def test_policy_series_rejects_mismatched_lengths(self):
+        from repro.dynamics.replay import PolicySeries
+
+        kwargs = {
+            name: np.zeros(5)
+            for name in (
+                "expected_delay", "reoptimized", "infeasible",
+                "max_overload", "lp_solves", "assemblies",
+                "estimation_error", "staleness", "probe_operations",
+            )
+        }
+        PolicySeries(policy="static", **kwargs)
+        with pytest.raises(DynamicsError, match="epoch count"):
+            PolicySeries(
+                policy="static",
+                **{**kwargs, "probe_operations": np.zeros(2)},
+            )
+        with pytest.raises(DynamicsError, match="1-D"):
+            PolicySeries(
+                policy="static",
+                **{**kwargs, "expected_delay": np.zeros((5, 2))},
+            )
+
+
 def _assert_series_identical(a, b) -> None:
     assert np.array_equal(a.expected_delay, b.expected_delay)
     assert np.array_equal(a.reoptimized, b.reoptimized)
@@ -428,6 +501,9 @@ def _assert_series_identical(a, b) -> None:
     assert np.array_equal(a.max_overload, b.max_overload)
     assert np.array_equal(a.lp_solves, b.lp_solves)
     assert np.array_equal(a.assemblies, b.assemblies)
+    assert np.array_equal(a.estimation_error, b.estimation_error)
+    assert np.array_equal(a.staleness, b.staleness)
+    assert np.array_equal(a.probe_operations, b.probe_operations)
 
 
 class TestReplayDeterminism:

@@ -56,7 +56,7 @@ class TestRegistry:
         expected = {
             "fig_3_1", "fig_3_2a", "fig_3_2b", "fig_6_3", "fig_6_4",
             "fig_6_5", "fig_7_6", "fig_7_7", "fig_7_8", "fig_8_9",
-            "fig_dyn", "fig_scale", "fig_throughput",
+            "fig_closed_loop", "fig_dyn", "fig_scale", "fig_throughput",
         }
         assert set(FIGURES) == expected
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.sim.engine import Simulator
-from repro.sim.metrics import OperationRecord, summarize
+from repro.sim.metrics import OperationRecord, summarize, summarize_arrays
 from repro.sim.network import SimNetwork
 from repro.sim.workload import PoissonArrivals, spread_clients
 
@@ -104,6 +104,62 @@ class TestMetrics:
         ]
         stats = summarize(records)
         assert stats.median_response_ms <= stats.p95_response_ms
+
+
+class TestSummarizeArrays:
+    """Direct edge cases of the columnar path (the fluid backend's and
+    the telemetry probe's summarizer)."""
+
+    def test_empty_arrays_raise(self):
+        empty = np.array([])
+        with pytest.raises(SimulationError, match="warmup"):
+            summarize_arrays(empty, empty, empty)
+
+    def test_all_operations_inside_warmup_raise(self):
+        issued = np.array([0.0, 5.0, 9.0])
+        with pytest.raises(SimulationError, match="warmup"):
+            summarize_arrays(issued, issued + 3.0, np.zeros(3),
+                             warmup_ms=10.0)
+
+    def test_single_sample_percentiles_coincide(self):
+        stats = summarize_arrays(
+            np.array([100.0]), np.array([142.0]), np.array([30.0])
+        )
+        assert stats.n_operations == 1
+        assert stats.mean_response_ms == pytest.approx(42.0)
+        assert stats.p50_response_ms == pytest.approx(42.0)
+        assert stats.p95_response_ms == pytest.approx(42.0)
+        assert stats.p99_response_ms == pytest.approx(42.0)
+        assert stats.std_response_ms == pytest.approx(0.0)
+        assert stats.percentiles() == {
+            "p50_response_ms": pytest.approx(42.0),
+            "p95_response_ms": pytest.approx(42.0),
+            "p99_response_ms": pytest.approx(42.0),
+        }
+
+    def test_client_ids_weight_clients_equally(self):
+        """Three fast ops from client 0, one slow op from client 1: the
+        per-client mean weighs the clients 50/50 regardless of volume."""
+        issued = np.zeros(4)
+        completed = np.array([10.0, 10.0, 10.0, 50.0])
+        network = np.zeros(4)
+        ids = np.array([0, 0, 0, 1])
+        per_client = summarize_arrays(issued, completed, network,
+                                      client_ids=ids)
+        assert per_client.mean_response_ms == pytest.approx(30.0)
+        per_op = summarize_arrays(issued, completed, network,
+                                  client_ids=ids, per_client=False)
+        assert per_op.mean_response_ms == pytest.approx(20.0)
+        # percentiles stay per-operation either way
+        assert per_client.p50_response_ms == per_op.p50_response_ms
+
+    def test_warmup_keeps_only_late_operations(self):
+        issued = np.array([0.0, 100.0, 200.0])
+        completed = issued + np.array([10.0, 20.0, 30.0])
+        stats = summarize_arrays(issued, completed, np.zeros(3),
+                                 warmup_ms=50.0)
+        assert stats.n_operations == 2
+        assert stats.mean_response_ms == pytest.approx(25.0)
 
 
 class TestWorkload:
