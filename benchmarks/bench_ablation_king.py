@@ -23,7 +23,7 @@ def run_sweep():
     for sigma in SIGMAS:
         estimated = (
             truth
-            if sigma == 0.0
+            if sigma == 0.0  # repro-lint: disable=RL006 -- 0.0 is a literal sentinel from SIGMAS, not a computed value
             else king_estimate(truth, seed=99, sigma=sigma)
         )
         placement = best_placement(estimated, system).placed.placement

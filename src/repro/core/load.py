@@ -48,7 +48,7 @@ def element_loads(placed: PlacedQuorumSystem, p_v: np.ndarray) -> np.ndarray:
         )
     loads = np.zeros(placed.system.universe_size)
     for i, quorum in enumerate(placed.system.quorums):
-        if p[i] == 0.0:
+        if p[i] == 0.0:  # repro-lint: disable=RL006 -- exact-zero skip is a pure optimization; near-zero weights must still accumulate
             continue
         for u in quorum:
             loads[u] += p[i]

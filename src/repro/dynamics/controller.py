@@ -133,7 +133,12 @@ class ThresholdPolicy:
         return value_now > value_at_reopt * (1.0 + self.degradation)
 
 
-def parse_policy(spec: str):
+#: Any of the three adaptation policies; they share the
+#: ``spec`` / ``should_reoptimize`` protocol but no base class.
+AdaptationPolicy = StaticPolicy | PeriodicPolicy | ThresholdPolicy
+
+
+def parse_policy(spec: str) -> AdaptationPolicy:
     """Parse a policy spec: ``static``, ``periodic:<k>``,
     ``threshold:<x>``, or ``clairvoyant`` (= ``periodic:1``).
 
@@ -252,7 +257,7 @@ class AdaptiveController:
     def __init__(
         self,
         placed: PlacedQuorumSystem,
-        policy,
+        policy: AdaptationPolicy,
         mode: str = "incremental",
         backend: str | None = None,
         telemetry: TelemetryConfig | None = None,

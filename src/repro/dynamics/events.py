@@ -108,8 +108,11 @@ class ChurnEvent:
 #: sorted by node within each direction).
 _EVENT_RANK = {RttDriftEvent: 0, CapacityEvent: 1, ChurnEvent: 2}
 
+#: Any of the three world-change events (no shared base class).
+DynamicsEvent = RttDriftEvent | CapacityEvent | ChurnEvent
 
-def _sort_key(event) -> tuple:
+
+def _sort_key(event: DynamicsEvent) -> tuple[int, int, int, int]:
     if isinstance(event, ChurnEvent):
         return (event.epoch, 2, 0 if event.up else 1, event.node)
     return (event.epoch, _EVENT_RANK[type(event)], 0, 0)

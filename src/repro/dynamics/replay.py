@@ -45,7 +45,7 @@ from repro.lp import lp_backend_name
 from repro.network.graph import Topology
 from repro.placement.search import best_placement
 from repro.quorums.base import QuorumSystem
-from repro.runtime.cache import (
+from repro.runtime.cache import (  # cache-key-input
     ResultCache,
     system_fingerprint,
     topology_fingerprint,

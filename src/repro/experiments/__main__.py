@@ -81,11 +81,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     targets = sorted(FIGURES) if args.figure == "all" else [args.figure]
     for figure_id in targets:
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro-lint: disable=RL002 -- operator-facing elapsed display only; never part of a result
         result = run_figure(
             figure_id, fast=args.fast, jobs=args.jobs, cache=cache
         )
-        elapsed = time.perf_counter() - started
+        elapsed = time.perf_counter() - started  # repro-lint: disable=RL002 -- operator-facing elapsed display only
         print(result.render_text())
         print(f"   [{figure_id} took {elapsed:.1f}s]")
         print()

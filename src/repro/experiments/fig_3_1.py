@@ -12,6 +12,8 @@ the embarrassingly parallel shape of the whole Section-3 surface.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from repro.experiments.series import FigureResult, Series
@@ -19,10 +21,23 @@ from repro.network.datasets import planetlab_50
 from repro.network.graph import Topology
 from repro.runtime.grid import GridPoint, GridSpec
 from repro.runtime.runner import GridRunner
-from repro.runtime.cache import topology_fingerprint
+from repro.runtime.cache import topology_fingerprint  # cache-key-input
 from repro.sim.experiment import QUExperimentConfig, run_qu_experiment
 
 __all__ = ["run", "grid_spec", "simulation_cell_point"]
+
+
+def _cell_base_config(
+    t: int, clients_per_site: int, duration_ms: float
+) -> QUExperimentConfig:
+    """The repetition-0 config of a grid cell; rep ``r`` adds ``r`` to the seed."""
+    return QUExperimentConfig(
+        t=t,
+        clients_per_site=clients_per_site,
+        duration_ms=duration_ms,
+        warmup_ms=duration_ms * 0.2,
+        seed=1000 * t + 10 * clients_per_site,
+    )
 
 
 def _simulate_cell(
@@ -33,15 +48,10 @@ def _simulate_cell(
     repetitions: int,
 ) -> tuple[float, float]:
     """Mean (response, network delay) over repetitions for one grid cell."""
+    base = _cell_base_config(t, clients_per_site, duration_ms)
     responses, delays = [], []
     for rep in range(repetitions):
-        config = QUExperimentConfig(
-            t=t,
-            clients_per_site=clients_per_site,
-            duration_ms=duration_ms,
-            warmup_ms=duration_ms * 0.2,
-            seed=1000 * t + 10 * clients_per_site + rep,
-        )
+        config = replace(base, seed=base.seed + rep)
         result = run_qu_experiment(topology, config)
         responses.append(result.mean_response_ms)
         delays.append(result.mean_network_delay_ms)
@@ -62,6 +72,12 @@ def simulation_cell_point(
     Shared by Figures 3.1 and 3.2 so identical cells (same topology,
     ``t``, client count, duration, seeds) resolve to the same cache entry
     regardless of which figure requested them.
+
+    The cache key carries the *full* config fingerprint — not just the
+    swept parameters — so changing a ``QUExperimentConfig`` default
+    (``n_client_sites``, ``service_time_ms``, ``network_jitter_ms``)
+    invalidates cached cells instead of silently serving stale results
+    (schema v7).
     """
     return GridPoint(
         tag=tag,
@@ -76,9 +92,9 @@ def simulation_cell_point(
         cache_key={
             "figure_point": "qu_simulation_cell",
             "topology": topo_fp,
-            "t": t,
-            "clients_per_site": clients_per_site,
-            "duration_ms": duration_ms,
+            "config": _cell_base_config(
+                t, clients_per_site, duration_ms
+            ).fingerprint_components(),
             "repetitions": repetitions,
         },
     )

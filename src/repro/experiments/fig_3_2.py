@@ -18,7 +18,7 @@ from repro.network.datasets import planetlab_50
 from repro.network.graph import Topology
 from repro.runtime.grid import GridSpec
 from repro.runtime.runner import GridRunner
-from repro.runtime.cache import topology_fingerprint
+from repro.runtime.cache import topology_fingerprint  # cache-key-input
 
 __all__ = ["run_a", "run_b", "run", "grid_spec_a", "grid_spec_b"]
 

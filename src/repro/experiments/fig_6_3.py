@@ -28,7 +28,7 @@ from repro.quorums.threshold import (
 )
 from repro.runtime.grid import GridPoint, GridSpec
 from repro.runtime.runner import GridRunner
-from repro.runtime.cache import system_fingerprint, topology_fingerprint
+from repro.runtime.cache import system_fingerprint, topology_fingerprint  # cache-key-input
 from repro.strategies.simple import closest_strategy
 
 __all__ = ["run", "grid_spec"]

@@ -20,7 +20,7 @@ from repro.placement.search import best_placement
 from repro.quorums.grid import GridQuorumSystem
 from repro.runtime.grid import GridPoint, GridSpec
 from repro.runtime.runner import GridRunner
-from repro.runtime.cache import system_fingerprint, topology_fingerprint
+from repro.runtime.cache import system_fingerprint, topology_fingerprint  # cache-key-input
 from repro.strategies.simple import balanced_strategy, closest_strategy
 
 __all__ = ["run", "grid_spec", "grid_sides_for"]

@@ -21,7 +21,7 @@ from repro.quorums.grid import GridQuorumSystem
 from repro.quorums.load_analysis import optimal_load
 from repro.runtime.grid import GridPoint, GridSpec
 from repro.runtime.runner import GridRunner
-from repro.runtime.cache import system_fingerprint, topology_fingerprint
+from repro.runtime.cache import system_fingerprint, topology_fingerprint  # cache-key-input
 from repro.strategies.capacity_sweep import (
     capacity_levels,
     sweep_uniform_capacities,

@@ -22,7 +22,7 @@ from repro.network.graph import Topology
 from repro.quorums.grid import GridQuorumSystem
 from repro.runtime.grid import GridPoint, GridSpec
 from repro.runtime.runner import GridRunner
-from repro.runtime.cache import system_fingerprint, topology_fingerprint
+from repro.runtime.cache import system_fingerprint, topology_fingerprint  # cache-key-input
 
 __all__ = ["run", "grid_spec"]
 

@@ -27,7 +27,7 @@ from repro.network.graph import Topology
 from repro.placement.hierarchical import hierarchical_best_placement
 from repro.placement.search import best_placement
 from repro.quorums.threshold import ThresholdQuorumSystem
-from repro.runtime.cache import system_fingerprint, topology_fingerprint
+from repro.runtime.cache import system_fingerprint, topology_fingerprint  # cache-key-input
 from repro.runtime.grid import GridPoint, GridSpec
 from repro.runtime.runner import GridRunner
 from repro.runtime.shm import resolve_topology

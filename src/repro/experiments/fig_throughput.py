@@ -33,7 +33,7 @@ from repro.experiments.series import FigureResult, Series
 from repro.network.datasets import planetlab_50
 from repro.network.graph import Topology
 from repro.quorums.threshold import ThresholdQuorumSystem
-from repro.runtime.cache import system_fingerprint, topology_fingerprint
+from repro.runtime.cache import system_fingerprint, topology_fingerprint  # cache-key-input
 from repro.runtime.grid import GridPoint, GridSpec
 from repro.runtime.runner import GridRunner
 from repro.runtime.shm import resolve_topology

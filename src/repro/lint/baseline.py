@@ -1,0 +1,128 @@
+"""Checked-in baseline of grandfathered repro-lint findings.
+
+The baseline lets a new rule land *enforcing* — CI fails on any finding
+not recorded here — without blocking on fixing every historical site in
+the same change. Entries key on ``(path, rule, snippet)`` rather than
+line numbers, so edits elsewhere in a file do not un-baseline an old
+finding; each key carries a count, so a file cannot silently *grow*
+more violations of an already-baselined shape.
+
+The file is JSON (sorted, newline-terminated) so diffs are reviewable:
+shrinking it is routine cleanup, and any change that grows it must
+justify itself in review.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.engine import Finding, LintError
+
+__all__ = ["Baseline", "load_baseline", "write_baseline"]
+
+#: Format version of the baseline file itself.
+BASELINE_VERSION = 1
+
+
+class Baseline:
+    """Budgets of known findings: ``(path, rule, snippet) -> count``."""
+
+    def __init__(
+        self, entries: "dict[tuple[str, str, str], int] | None" = None
+    ) -> None:
+        self.entries: dict[tuple[str, str, str], int] = dict(entries or {})
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(dict(Counter(f.baseline_key() for f in findings)))
+
+    def filter_new(
+        self, findings: Iterable[Finding]
+    ) -> tuple[list[Finding], int]:
+        """``(non-baselined findings, number absorbed by the baseline)``.
+
+        Findings are absorbed in order until a key's budget runs out, so
+        a file with two identical grandfathered lines and a third new
+        one reports exactly one finding.
+        """
+        budget = dict(self.entries)
+        fresh: list[Finding] = []
+        absorbed = 0
+        for finding in findings:
+            key = finding.baseline_key()
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                absorbed += 1
+            else:
+                fresh.append(finding)
+        return fresh, absorbed
+
+    def to_json(self) -> dict:
+        return {
+            "version": BASELINE_VERSION,
+            "entries": [
+                {
+                    "path": path,
+                    "rule": rule,
+                    "snippet": snippet,
+                    "count": count,
+                }
+                for (path, rule, snippet), count in sorted(
+                    self.entries.items()
+                )
+            ],
+        }
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Baseline):
+            return NotImplemented
+        return self.entries == other.entries
+
+
+def load_baseline(path: "str | Path") -> Baseline:
+    """Read a baseline file; raises :class:`LintError` on malformed input."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise LintError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise LintError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") != BASELINE_VERSION
+        or not isinstance(payload.get("entries"), list)
+    ):
+        raise LintError(
+            f"baseline {path} has an unrecognized format (expected "
+            f"version {BASELINE_VERSION} with an entries list)"
+        )
+    entries: dict[tuple[str, str, str], int] = {}
+    for entry in payload["entries"]:
+        try:
+            key = (entry["path"], entry["rule"], entry["snippet"])
+            count = int(entry["count"])
+        except (TypeError, KeyError, ValueError) as exc:
+            raise LintError(
+                f"baseline {path} has a malformed entry: {entry!r}"
+            ) from exc
+        if count <= 0:
+            raise LintError(
+                f"baseline {path}: entry counts must be positive, got "
+                f"{count} for {key}"
+            )
+        entries[key] = entries.get(key, 0) + count
+    return Baseline(entries)
+
+
+def write_baseline(path: "str | Path", baseline: Baseline) -> None:
+    """Write a baseline file (stable ordering, newline-terminated)."""
+    Path(path).write_text(
+        json.dumps(baseline.to_json(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )

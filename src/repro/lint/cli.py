@@ -1,0 +1,138 @@
+"""Command-line entry point: ``python -m repro.lint [paths]``.
+
+Exit-code contract (relied on by CI and ``scripts/lint.py``):
+
+* ``0`` — clean: every finding (if any) was absorbed by the baseline.
+* ``1`` — at least one non-baselined finding was reported.
+* ``2`` — usage or internal error (unknown rule, missing path,
+  malformed baseline...).
+
+The default baseline is ``lint-baseline.json`` next to the current
+working directory when it exists; pass ``--no-baseline`` to report
+grandfathered findings too, or ``--write-baseline`` to (re)record the
+current findings as the new baseline — shrinking it is routine
+cleanup, growing it is a review decision.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import Baseline, load_baseline, write_baseline
+from repro.lint.engine import LintConfig, LintError, all_rules, lint_paths
+from repro.lint.report import render_json, render_text
+
+__all__ = ["main"]
+
+#: Default baseline filename, resolved against the working directory.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "AST-based invariant checks for determinism, cache-key, and "
+            "shared-memory discipline."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format on stdout (default: text)",
+    )
+    parser.add_argument(
+        "--json-output",
+        metavar="FILE",
+        help="additionally write the JSON report to FILE (CI artifact)",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="RL001,RL002,...",
+        help="comma-separated subset of rules to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=(
+            f"baseline file of grandfathered findings (default: "
+            f"{DEFAULT_BASELINE} if it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file: report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rule table and exit",
+    )
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for code, rule in sorted(all_rules().items()):
+            print(f"{code}  {rule.name:28s} {rule.description}")
+        return 0
+
+    rules: tuple[str, ...] = ()
+    if args.rules:
+        rules = tuple(
+            code.strip() for code in args.rules.split(",") if code.strip()
+        )
+
+    baseline_path = args.baseline
+    if baseline_path is None and Path(DEFAULT_BASELINE).is_file():
+        baseline_path = DEFAULT_BASELINE
+
+    try:
+        config = LintConfig(rules=rules)
+        findings = lint_paths(args.paths, config=config)
+
+        if args.write_baseline:
+            target = baseline_path or DEFAULT_BASELINE
+            write_baseline(target, Baseline.from_findings(findings))
+            print(
+                f"wrote {len(findings)} finding(s) to baseline {target}",
+                file=sys.stderr,
+            )
+            return 0
+
+        baselined = 0
+        if baseline_path and not args.no_baseline:
+            findings, baselined = load_baseline(baseline_path).filter_new(
+                findings
+            )
+    except LintError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json_output:
+        Path(args.json_output).write_text(
+            render_json(findings, baselined), encoding="utf-8"
+        )
+    if args.format == "json":
+        sys.stdout.write(render_json(findings, baselined))
+    else:
+        sys.stdout.write(render_text(findings, baselined))
+    return 1 if findings else 0

@@ -66,7 +66,7 @@ scipy path is stateless per solve, hence trivially canonical.
 from __future__ import annotations
 
 import os
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 from scipy.optimize import linprog
@@ -84,14 +84,15 @@ _STATUS_INFEASIBLE = 2
 _STATUS_UNBOUNDED = 3
 
 
-def _probe_highs_bindings():
+def _probe_highs_bindings() -> tuple[Any, str]:
     """``(module, name)`` for importable HiGHS bindings, or ``(None, "scipy")``.
 
     Tries the standalone ``highspy`` package first, then the bindings scipy
     ships internally. Returns ``(None, "scipy")`` when neither imports or
     when ``REPRO_LP_BACKEND=scipy`` forces the fallback.
     """
-    if os.environ.get(LP_BACKEND_ENV, "").strip().lower() == "scipy":
+    forced = os.environ.get(LP_BACKEND_ENV, "")  # repro-lint: disable=RL002 -- backend selector; cache keys record the backend, so entries never cross
+    if forced.strip().lower() == "scipy":
         return None, "scipy"
     try:
         import highspy  # standalone distribution
@@ -118,7 +119,9 @@ def lp_backend_name() -> str:
 class _HighsBackend:
     """Persistent HiGHS model; RHS variants only change row bounds."""
 
-    def __init__(self, bindings, arrays: dict, n_le: int, n_eq: int) -> None:
+    def __init__(
+        self, bindings: Any, arrays: dict, n_le: int, n_eq: int
+    ) -> None:
         from scipy import sparse
 
         self._hs = bindings
@@ -165,7 +168,7 @@ class _HighsBackend:
             raise SolverError(f"HiGHS rejected the model: {status}")
         self._solver = solver
 
-    def _copy_basis(self, basis):
+    def _copy_basis(self, basis: Any) -> Any:
         # getBasis() hands back a view of solver-internal state; snapshot
         # the status vectors so the anchor survives later solves.
         copy = self._hs.HighsBasis()
@@ -257,10 +260,14 @@ class _ScipyBackend:
     def cold_restart(self) -> None:
         pass  # ditto
 
-    def update_objective(self, variables, values) -> None:
+    def update_objective(
+        self, variables: np.ndarray, values: np.ndarray
+    ) -> None:
         pass  # BatchedProgram already rewrote the shared arrays in place
 
-    def update_coefficients(self, rows, cols, values) -> None:
+    def update_coefficients(
+        self, rows: np.ndarray, cols: np.ndarray, values: np.ndarray
+    ) -> None:
         pass  # ditto: linprog reads the CSR matrix freshly every call
 
     def solve(self, b_ub: np.ndarray | None) -> LPSolution | None:
@@ -490,7 +497,7 @@ class BatchedProgram:
         )
         self.update_count += 1
 
-    def _check_rhs(self, b_ub) -> np.ndarray | None:
+    def _check_rhs(self, b_ub: "np.ndarray | Sequence | None") -> np.ndarray | None:
         if self._n_le == 0:
             if b_ub is not None and np.asarray(b_ub).size:
                 raise SolverError(

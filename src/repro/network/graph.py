@@ -15,6 +15,10 @@ the paper's use of capacity as a knob for access-strategy optimization.
 
 from __future__ import annotations
 
+# cache-key-input: topology_fingerprint hashes Topology.rtt/capacities/
+# names; any change to how this module builds or normalizes them (metric
+# closure, dtype, ordering) shifts every cache key downstream.
+
 from typing import Iterable, Sequence
 
 import numpy as np

@@ -81,7 +81,7 @@ def element_loads_of_strategy(
         )
     loads = np.zeros(system.universe_size)
     for i, quorum in enumerate(system.quorums):
-        if p[i] == 0.0:
+        if p[i] == 0.0:  # repro-lint: disable=RL006 -- exact-zero skip is a pure optimization; near-zero weights must still accumulate
             continue
         for u in quorum:
             loads[u] += p[i]

@@ -42,7 +42,7 @@ from repro.placement.fractional import (
 from repro.placement.gap import round_fractional_placement
 from repro.quorums.base import QuorumSystem
 from repro.lp import lp_backend_name
-from repro.runtime.cache import system_fingerprint, topology_fingerprint
+from repro.runtime.cache import system_fingerprint, topology_fingerprint  # cache-key-input
 from repro.runtime.grid import GridPoint
 from repro.runtime.runner import in_worker, worker_memo
 from repro.runtime.shm import resolve_topology

@@ -17,6 +17,10 @@ them to topology nodes.
 
 from __future__ import annotations
 
+# cache-key-input: system_fingerprint hashes the enumerated quorum list
+# (or threshold structure) defined through this API; construction changes
+# here change every cache key downstream.
+
 from abc import ABC, abstractmethod
 from functools import cached_property
 

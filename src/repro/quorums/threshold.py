@@ -21,6 +21,9 @@ threshold structure exactly (order statistics) instead of enumeration.
 
 from __future__ import annotations
 
+# cache-key-input: system_fingerprint hashes threshold systems as (n, q);
+# changing how universes/quorum sizes derive from t reshapes cache keys.
+
 import itertools
 from enum import Enum
 from functools import cached_property

@@ -26,7 +26,7 @@ winner. This package provides the machinery every such workload shares:
 runtime through ``--jobs`` and ``--no-cache`` flags.
 """
 
-from repro.runtime.cache import (
+from repro.runtime.cache import (  # cache-key-input
     ResultCache,
     content_key,
     default_cache_dir,

@@ -18,6 +18,9 @@ workers never observe a torn entry.
 
 from __future__ import annotations
 
+# cache-key-input: this module *is* the cache-key construction; grep for
+# this marker to enumerate the CACHE_SCHEMA_VERSION blast radius.
+
 import hashlib
 import os
 import pickle
@@ -73,7 +76,13 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: (``estimation_error``/``staleness``/``probe_operations``), so pickled
 #: ``SegmentSeries`` payloads from earlier schemas no longer unpickle
 #: into the current dataclass shape.
-CACHE_SCHEMA_VERSION = 6
+#:
+#: v7: the ``qu_simulation_cell`` key (Figures 3.1/3.2) now hashes the
+#: full ``QUExperimentConfig.fingerprint_components()`` instead of only
+#: the swept parameters; previously a changed default
+#: (``n_client_sites``, ``service_time_ms``, ``network_jitter_ms``)
+#: would have silently reused stale cached cells.
+CACHE_SCHEMA_VERSION = 7
 
 
 def default_cache_dir() -> Path:
@@ -251,7 +260,7 @@ class ResultCache:
         try:
             with path.open("rb") as fh:
                 value = pickle.load(fh)
-        except Exception:
+        except Exception:  # repro-lint: disable=RL005 -- corrupt entry = cache miss by contract; recomputed and overwritten by the next put
             # Unpickling corrupt bytes can raise nearly anything
             # (UnpicklingError, ValueError, EOFError, AttributeError...);
             # any unreadable entry is a miss and will be overwritten.

@@ -42,12 +42,25 @@ import os
 import weakref
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
-from typing import Any, Callable, Hashable, Iterable, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Hashable,
+    Iterable,
+    Iterator,
+    Sequence,
+)
 
+# cache-key-input: the runner folds every point's cache_key through
+# content_key; scheduling must never reach a key that content does not.
 from repro.errors import ReproError
 from repro.runtime.cache import ResultCache, content_key
 from repro.runtime.grid import GridPoint
 from repro.runtime.shm import TopologyBroker
+
+if TYPE_CHECKING:
+    from repro.network.graph import Topology
 
 __all__ = [
     "GridRunner",
@@ -145,7 +158,7 @@ def shared_runner(
     runner: "GridRunner",
     jobs: int | None = 1,
     cache: ResultCache | None = None,
-):
+) -> Iterator["GridRunner"]:
     """The caller-provided-runner contract, in one place.
 
     Drivers that accept ``runner=`` alongside their own ``jobs=``/
@@ -231,7 +244,7 @@ class GridRunner:
             self._broker = TopologyBroker()
         return self._broker
 
-    def ship(self, topology) -> object:
+    def ship(self, topology: "Topology") -> object:
         """The payload to put in grid-point kwargs for ``topology``.
 
         A shared-memory handle when this runner would actually dispatch
@@ -357,8 +370,8 @@ class GridRunner:
                         and future.exception() is None
                     ):
                         record(point, future.result())
-                except Exception:
-                    pass  # salvage must never mask the original error
+                except Exception:  # repro-lint: disable=RL005 -- salvage of already-finished futures must never mask the original error, which is re-raised right below
+                    pass
             raise
 
     def close(self) -> None:
@@ -371,7 +384,7 @@ class GridRunner:
     def __enter__(self) -> "GridRunner":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __repr__(self) -> str:

@@ -33,6 +33,10 @@ caller-visible difference beyond speed.
 
 from __future__ import annotations
 
+# cache-key-input: handles are keyed by topology_fingerprint; a handle
+# resolving to different bytes than its fingerprint promises would serve
+# stale cached results.
+
 import os
 import pickle
 import secrets
@@ -76,7 +80,10 @@ _ATTACHED_MAX = 8
 
 def shm_available() -> bool:
     """Whether shared-memory transport can be used in this process."""
-    return shared_memory is not None and not os.environ.get(SHM_DISABLE_ENV)
+    # REPRO_NO_SHM only selects the transport; either path is pinned
+    # bit-identical, so the env read cannot fork results.
+    disabled = os.environ.get(SHM_DISABLE_ENV)  # repro-lint: disable=RL002 -- transport toggle, results identical
+    return shared_memory is not None and not disabled
 
 
 @dataclass(frozen=True)
@@ -185,7 +192,7 @@ def _release_blocks(blocks: dict, published: dict) -> None:
         try:
             block.close()
             block.unlink()
-        except Exception:  # pragma: no cover - already gone
+        except Exception:  # pragma: no cover  # repro-lint: disable=RL005 -- best-effort unlink of an already-gone block; raising from a finalizer would mask nothing and kill interpreter shutdown
             pass
 
 
@@ -264,7 +271,7 @@ class TopologyBroker:
     def __enter__(self) -> "TopologyBroker":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __repr__(self) -> str:

@@ -18,6 +18,10 @@ Reproduces the paper's Modelnet methodology:
 
 from __future__ import annotations
 
+# cache-key-input: QUExperimentConfig.fingerprint_components feeds the
+# qu_simulation_cell cache key; field changes here must keep it complete
+# (rule RL003) and warrant a CACHE_SCHEMA_VERSION review.
+
 from dataclasses import dataclass
 
 import numpy as np
@@ -88,6 +92,28 @@ class QUExperimentConfig:
     @property
     def n_clients(self) -> int:
         return self.n_client_sites * self.clients_per_site
+
+    def fingerprint_components(self) -> dict:
+        """Content components for cache keys (see
+        :func:`repro.runtime.cache.content_key`).
+
+        Every field is hashed — rule RL003 enforces it stays that way.
+        Before this existed, figure grids keyed only the fields they
+        swept (``t``, client count, duration), so editing a *default*
+        here (``n_client_sites``, ``service_time_ms``,
+        ``network_jitter_ms``) would have silently served stale cached
+        cells.
+        """
+        return {
+            "t": int(self.t),
+            "clients_per_site": int(self.clients_per_site),
+            "n_client_sites": int(self.n_client_sites),
+            "service_time_ms": float(self.service_time_ms),
+            "duration_ms": float(self.duration_ms),
+            "warmup_ms": float(self.warmup_ms),
+            "seed": int(self.seed),
+            "network_jitter_ms": float(self.network_jitter_ms),
+        }
 
 
 @dataclass(frozen=True)

@@ -37,7 +37,7 @@ from repro.core.placement import PlacedQuorumSystem
 from repro.core.strategy import ExplicitStrategy
 from repro.errors import StrategyError
 from repro.lp import BatchedProgram, LinearProgram, lp_backend_name
-from repro.runtime.cache import system_fingerprint, topology_fingerprint
+from repro.runtime.cache import system_fingerprint, topology_fingerprint  # cache-key-input
 from repro.runtime.runner import in_worker, worker_memo
 
 __all__ = [
