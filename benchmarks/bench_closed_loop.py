@@ -19,13 +19,13 @@ adaptation loop it feeds.
 from __future__ import annotations
 
 import json
-import platform
 import time
 
 import numpy as np
 import pytest
 
 from repro.dynamics.controller import replay_segment
+from repro.obs.bench import BenchRecorder
 from repro.dynamics.replay import _segment_placement
 from repro.dynamics.scenarios import (
     combine,
@@ -108,30 +108,26 @@ def test_closed_loop_overhead_is_bounded(results_dir):
     assert int(oracle.probe_operations.sum()) == 0
     assert oracle.estimation_error.max() == 0.0  # repro-lint: disable=RL006 -- oracle never estimates: identically zero by construction
 
-    record = {
-        "benchmark": "closed_loop_overhead",
-        "topology": "planetlab-50",
-        "system": f"grid:{GRID_K}",
-        "epochs": N_EPOCHS,
-        "scenario": "diurnal+flash-crowd",
-        "policy": POLICY,
-        "backend": backend,
-        "probe_backend": telemetry.sim_backend,
-        "noise": telemetry.noise,
-        "oracle_seconds": oracle_s,
-        "closed_loop_seconds": closed_s,
-        "overhead_ratio": overhead,
-        "probe_replies": probe_replies,
-        "probe_replies_per_second": replies_per_s,
-        "oracle_reopts": int(oracle.reoptimized.sum()),
-        "closed_loop_reopts": int(closed.reoptimized.sum()),
-        "mean_estimation_error": float(closed.estimation_error.mean()),
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-    }
-    out = results_dir / "bench_closed_loop.json"
-    out.write_text(json.dumps(record, indent=2) + "\n")
+    recorder = BenchRecorder("closed_loop_overhead")
+    recorder.update(
+        topology="planetlab-50",
+        system=f"grid:{GRID_K}",
+        epochs=N_EPOCHS,
+        scenario="diurnal+flash-crowd",
+        policy=POLICY,
+        backend=backend,
+        probe_backend=telemetry.sim_backend,
+        noise=telemetry.noise,
+        oracle_seconds=oracle_s,
+        closed_loop_seconds=closed_s,
+        overhead_ratio=overhead,
+        probe_replies=probe_replies,
+        probe_replies_per_second=replies_per_s,
+        oracle_reopts=int(oracle.reoptimized.sum()),
+        closed_loop_reopts=int(closed.reoptimized.sum()),
+        mean_estimation_error=float(closed.estimation_error.mean()),
+    )
+    record = recorder.write(results_dir, "bench_closed_loop.json")
 
     print()
     print(f"== closed-loop overhead: grid:{GRID_K} on planetlab-50, "

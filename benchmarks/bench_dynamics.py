@@ -23,13 +23,13 @@ is amortized, so the bar is parity within noise).
 from __future__ import annotations
 
 import json
-import platform
 import time
 
 import numpy as np
 import pytest
 
 from repro.dynamics.controller import replay_segment
+from repro.obs.bench import BenchRecorder
 from repro.dynamics.replay import _segment_placement
 from repro.dynamics.scenarios import (
     combine,
@@ -105,28 +105,24 @@ def test_warm_incremental_beats_cold_rebuild(results_dir):
     assert int(cold.assemblies.sum()) == N_EPOCHS
     assert int(warm.assemblies.sum()) == 1
 
-    record = {
-        "benchmark": "dynamics_incremental",
-        "topology": "planetlab-50",
-        "system": f"grid:{GRID_K}",
-        "epochs": N_EPOCHS,
-        "scenario": "diurnal+flash-crowd",
-        "policy": "clairvoyant",
-        "backend": backend,
-        "cold_rebuild_seconds": cold_s,
-        "warm_incremental_seconds": warm_s,
-        "speedup": speedup,
-        "cold_assemblies": int(cold.assemblies.sum()),
-        "warm_assemblies": int(warm.assemblies.sum()),
-        "cold_lp_solves": int(cold.lp_solves.sum()),
-        "warm_lp_solves": int(warm.lp_solves.sum()),
-        "max_objective_gap": max_gap,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-    }
-    out = results_dir / "bench_dynamics.json"
-    out.write_text(json.dumps(record, indent=2) + "\n")
+    recorder = BenchRecorder("dynamics_incremental")
+    recorder.update(
+        topology="planetlab-50",
+        system=f"grid:{GRID_K}",
+        epochs=N_EPOCHS,
+        scenario="diurnal+flash-crowd",
+        policy="clairvoyant",
+        backend=backend,
+        cold_rebuild_seconds=cold_s,
+        warm_incremental_seconds=warm_s,
+        speedup=speedup,
+        cold_assemblies=int(cold.assemblies.sum()),
+        warm_assemblies=int(warm.assemblies.sum()),
+        cold_lp_solves=int(cold.lp_solves.sum()),
+        warm_lp_solves=int(warm.lp_solves.sum()),
+        max_objective_gap=max_gap,
+    )
+    record = recorder.write(results_dir, "bench_dynamics.json")
 
     print()
     print(f"== dynamics re-optimization: grid:{GRID_K} on planetlab-50, "

@@ -31,13 +31,13 @@ trajectory started by ``bench_lp_batched.py``.
 from __future__ import annotations
 
 import json
-import platform
 import time
 
 import numpy as np
 import pytest
 
 from _iterative_schedule import replay_family, solve_schedule
+from repro.obs.bench import BenchRecorder
 from repro.lp import lp_backend_name
 from repro.network.datasets import planetlab_50
 from repro.placement.fractional import fractional_placement_loop
@@ -102,26 +102,22 @@ def test_batched_fractional_lp_speedup(results_dir):
         np.allclose(a.x, b.x, atol=1e-9) for a, b in zip(cold, batched)
     )
 
-    record = {
-        "benchmark": "fractional_lp_batched",
-        "topology": "planetlab-50",
-        "system": f"grid:{GRID_K}",
-        "capacity_levels": N_LEVELS,
-        "candidates": N_CANDIDATES,
-        "iterative_iterations": total_iterations,
-        "lp_solves_per_path": n_solves,
-        "backend": backend,
-        "cold_seconds": cold_s,
-        "batched_seconds": batched_s,
-        "speedup": speedup,
-        "max_objective_gap": max_gap,
-        "vertex_agreement": f"{vertex_agree}/{n_solves}",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-    }
-    out = results_dir / "bench_fractional_lp.json"
-    out.write_text(json.dumps(record, indent=2) + "\n")
+    recorder = BenchRecorder("fractional_lp_batched")
+    recorder.update(
+        topology="planetlab-50",
+        system=f"grid:{GRID_K}",
+        capacity_levels=N_LEVELS,
+        candidates=N_CANDIDATES,
+        iterative_iterations=total_iterations,
+        lp_solves_per_path=n_solves,
+        backend=backend,
+        cold_seconds=cold_s,
+        batched_seconds=batched_s,
+        speedup=speedup,
+        max_objective_gap=max_gap,
+        vertex_agreement=f"{vertex_agree}/{n_solves}",
+    )
+    recorder.write(results_dir, "bench_fractional_lp.json")
 
     print()
     print(f"== batched fractional LP: grid:{GRID_K} on planetlab-50, "

@@ -20,13 +20,13 @@ the trajectory shows what sorting buys on top of the warm-start win.
 from __future__ import annotations
 
 import json
-import platform
 import time
 
 import numpy as np
 import pytest
 
 from repro.core.response_time import alpha_from_demand
+from repro.obs.bench import BenchRecorder
 from repro.network.datasets import planetlab_50
 from repro.placement.search import best_placement
 from repro.quorums.grid import GridQuorumSystem
@@ -126,31 +126,27 @@ def test_batched_lp_sweep_speedup(results_dir):
     )
     assert max_order_gap <= 1e-9
 
-    record = {
-        "benchmark": "lp_batched_sweep",
-        "topology": "planetlab-50",
-        "system": f"grid:{GRID_K}",
-        "capacity_levels": N_LEVELS,
-        "demand": DEMAND,
-        "backend": backend,
-        "per_level_seconds": per_level_s,
-        "batched_seconds": batched_s,
-        "speedup": speedup,
-        "max_objective_gap": max_objective_gap,
-        "best_capacity": float(batched_best),
-        "best_capacity_matches_per_level": bool(
+    recorder = BenchRecorder("lp_batched_sweep")
+    recorder.update(
+        topology="planetlab-50",
+        system=f"grid:{GRID_K}",
+        capacity_levels=N_LEVELS,
+        demand=DEMAND,
+        backend=backend,
+        per_level_seconds=per_level_s,
+        batched_seconds=batched_s,
+        speedup=speedup,
+        max_objective_gap=max_objective_gap,
+        best_capacity=float(batched_best),
+        best_capacity_matches_per_level=bool(
             batched_best == per_level_best
         ),
-        "order_given_seconds": given_s,
-        "order_sorted_seconds": sorted_s,
-        "sorted_order_gain": given_s / sorted_s,
-        "max_order_gap": max_order_gap,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-    }
-    out = results_dir / "bench_lp_batched.json"
-    out.write_text(json.dumps(record, indent=2) + "\n")
+        order_given_seconds=given_s,
+        order_sorted_seconds=sorted_s,
+        sorted_order_gain=given_s / sorted_s,
+        max_order_gap=max_order_gap,
+    )
+    recorder.write(results_dir, "bench_lp_batched.json")
 
     print()
     print(f"== batched LP sweep: grid:{GRID_K} on planetlab-50, "

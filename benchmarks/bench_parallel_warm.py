@@ -30,7 +30,6 @@ the bar is parity within noise). The run writes
 from __future__ import annotations
 
 import json
-import platform
 import time
 
 import numpy as np
@@ -38,6 +37,8 @@ import pytest
 
 from _iterative_schedule import replay_family, solve_schedule
 from repro.lp import lp_backend_name
+from repro.obs import Tracer, tracing
+from repro.obs.bench import BenchRecorder
 from repro.network.datasets import planetlab_50
 from repro.placement.fractional import FractionalProgram
 from repro.quorums.grid import GridQuorumSystem
@@ -95,25 +96,33 @@ def test_worker_warm_beats_cold_per_call(results_dir):
     )
     assert max_gap <= 1e-9
 
-    record = {
-        "benchmark": "parallel_worker_warm",
-        "topology": "planetlab-50",
-        "system": f"grid:{GRID_K}",
-        "capacity_levels": N_LEVELS,
-        "candidates": N_CANDIDATES,
-        "iterative_iterations": total_iterations,
-        "lp_solves_per_path": n_solves,
-        "backend": backend,
-        "cold_per_call_seconds": cold_s,
-        "worker_warm_seconds": warm_s,
-        "speedup": speedup,
-        "max_objective_gap": max_gap,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-    }
-    out = results_dir / "bench_parallel_warm.json"
-    out.write_text(json.dumps(record, indent=2) + "\n")
+    # Counter cross-check (outside the timed windows): the same warm
+    # workload replayed under an active tracer must count exactly one
+    # ``lp.solve`` per scheduled solve — the independent figure the trace
+    # summaries are validated against.
+    tracer = Tracer(label="bench")
+    with tracing(tracer):
+        replay_family(topology, system, candidates, schedule)
+    counters = dict(tracer.counters)
+    assert counters["lp.solve"] == n_solves
+
+    recorder = BenchRecorder("parallel_worker_warm")
+    recorder.update(
+        topology="planetlab-50",
+        system=f"grid:{GRID_K}",
+        capacity_levels=N_LEVELS,
+        candidates=N_CANDIDATES,
+        iterative_iterations=total_iterations,
+        lp_solves_per_path=n_solves,
+        backend=backend,
+        cold_per_call_seconds=cold_s,
+        worker_warm_seconds=warm_s,
+        speedup=speedup,
+        max_objective_gap=max_gap,
+    )
+    recorder.write(
+        results_dir, "bench_parallel_warm.json", counters=counters
+    )
 
     print()
     print(f"== worker-warm candidate search: grid:{GRID_K} on planetlab-50, "
@@ -155,3 +164,6 @@ def test_bench_json_is_machine_readable(results_dir):
         record["cold_per_call_seconds"] / record["worker_warm_seconds"]
     )
     assert record["max_objective_gap"] <= 1e-9
+    # The traced replay's counters ride along and agree with the
+    # independently counted solve schedule.
+    assert record["counters"]["lp.solve"] == record["lp_solves_per_path"]

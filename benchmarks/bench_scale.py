@@ -26,7 +26,6 @@ from __future__ import annotations
 import json
 import os
 import pickle
-import platform
 import resource
 import time
 
@@ -36,6 +35,7 @@ import pytest
 from conftest import full_grids_enabled
 from repro.core.response_time import alpha_from_demand
 from repro.network.generators import synthetic_wan
+from repro.obs.bench import BenchRecorder
 from repro.placement.hierarchical import hierarchical_best_placement
 from repro.placement.search import best_placement
 from repro.quorums.grid import GridQuorumSystem
@@ -118,28 +118,26 @@ def test_shm_transport_beats_pickle_per_point(results_dir):
     assert handle_bytes < 4096
 
     speedup = pickle_s / shm_s
-    record = {
-        "benchmark": "scale_shm_transport",
-        "mode": "fast" if FAST else "full",
-        "topology": f"synthetic-wan-{N_SITES}",
-        "n_sites": N_SITES,
-        "system": "majority:simple:2",
-        "jobs": JOBS,
-        "candidates": int(len(candidates)),
-        "shm_seconds": shm_s,
-        "pickle_seconds": pickle_s,
-        "shm_candidates_per_second": len(candidates) / shm_s,
-        "pickle_candidates_per_second": len(candidates) / pickle_s,
-        "speedup": speedup,
-        "ship_bytes_per_point": handle_bytes,
-        "ship_bytes_per_point_pickle": topology_bytes,
-        "payload_reduction": topology_bytes / handle_bytes,
-        "peak_rss_bytes": _peak_rss_bytes(),
-        "bit_identical_to_serial": True,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-    }
+    recorder = BenchRecorder("scale_shm_transport")
+    recorder.update(
+        mode="fast" if FAST else "full",
+        topology=f"synthetic-wan-{N_SITES}",
+        n_sites=N_SITES,
+        system="majority:simple:2",
+        jobs=JOBS,
+        candidates=int(len(candidates)),
+        shm_seconds=shm_s,
+        pickle_seconds=pickle_s,
+        shm_candidates_per_second=len(candidates) / shm_s,
+        pickle_candidates_per_second=len(candidates) / pickle_s,
+        speedup=speedup,
+        ship_bytes_per_point=handle_bytes,
+        ship_bytes_per_point_pickle=topology_bytes,
+        payload_reduction=topology_bytes / handle_bytes,
+        peak_rss_bytes=_peak_rss_bytes(),
+        bit_identical_to_serial=True,
+    )
+    record = recorder.build()
     out = results_dir / "bench_scale.json"
     existing = (
         json.loads(out.read_text()) if out.exists() else {}
@@ -184,24 +182,24 @@ def test_hierarchical_sweep_end_to_end(results_dir):
     assert len(sweep.response_times) >= 1
     assert all(np.isfinite(sweep.response_times))
 
-    record = {
-        "benchmark": "scale_hierarchical_sweep",
-        "mode": "fast" if FAST else "full",
-        "topology": f"synthetic-wan-{N_SITES}",
-        "n_sites": N_SITES,
-        "system": "grid:5",
-        "jobs": JOBS,
-        "candidates_evaluated": search.n_candidates,
-        "candidate_fraction": search.n_candidates / topology.n_nodes,
-        "clusters": len(search.medoids),
-        "search_seconds": search_s,
-        "capacity_levels": len(levels),
-        "sweep_seconds": sweep_s,
-        "best_avg_network_delay_ms": search.avg_network_delay,
-        "best_response_time_ms": float(min(sweep.response_times)),
-        "peak_rss_bytes": _peak_rss_bytes(),
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-    }
+    recorder = BenchRecorder("scale_hierarchical_sweep")
+    recorder.update(
+        mode="fast" if FAST else "full",
+        topology=f"synthetic-wan-{N_SITES}",
+        n_sites=N_SITES,
+        system="grid:5",
+        jobs=JOBS,
+        candidates_evaluated=search.n_candidates,
+        candidate_fraction=search.n_candidates / topology.n_nodes,
+        clusters=len(search.medoids),
+        search_seconds=search_s,
+        capacity_levels=len(levels),
+        sweep_seconds=sweep_s,
+        best_avg_network_delay_ms=search.avg_network_delay,
+        best_response_time_ms=float(min(sweep.response_times)),
+        peak_rss_bytes=_peak_rss_bytes(),
+    )
+    record = recorder.build()
     out = results_dir / "bench_scale.json"
     existing = json.loads(out.read_text()) if out.exists() else {}
     existing["sweep"] = record

@@ -28,7 +28,6 @@ The run writes ``benchmarks/results/bench_sim_throughput.json``.
 from __future__ import annotations
 
 import json
-import platform
 import time
 
 import numpy as np
@@ -38,6 +37,7 @@ from conftest import full_grids_enabled
 from repro.core.placement import PlacedQuorumSystem, Placement
 from repro.core.strategy import ThresholdBalancedStrategy
 from repro.network.generators import synthetic_wan
+from repro.obs.bench import BenchRecorder
 from repro.quorums.threshold import ThresholdQuorumSystem
 from repro.sim.generic import GenericQuorumSimulation
 from repro.sim.workload import PoissonArrivals
@@ -114,38 +114,34 @@ def test_fluid_backend_sustains_wan_scale_throughput(results_dir):
     events_req_s = events.requests_issued / events_s
     speedup = fluid_req_s / events_req_s
 
-    record = {
-        "benchmark": "sim_throughput",
-        "mode": "fast" if FAST else "full",
-        "topology": f"synthetic-wan-{N_SITES}",
-        "n_sites": N_SITES,
-        "system": "majority:simple:2",
-        "strategy": "threshold-balanced",
-        "rate_per_ms": RATE_PER_MS,
-        "fluid_duration_ms": FLUID_DURATION_MS,
-        "events_duration_ms": EVENTS_DURATION_MS,
-        "fluid_operations": int(fluid.operations_completed),
-        "fluid_requests": int(fluid.requests_issued),
-        "fluid_seconds": fluid_s,
-        "fluid_requests_per_second": fluid_req_s,
-        "events_operations": int(events.operations_completed),
-        "events_requests": int(events.requests_issued),
-        "events_seconds": events_s,
-        "events_requests_per_second": events_req_s,
-        "speedup": speedup,
-        "fluid_mean_response_ms": float(fluid.stats.mean_response_ms),
-        "events_mean_response_ms": float(events.stats.mean_response_ms),
-        "fluid_p99_response_ms": float(fluid.stats.p99_response_ms),
-        "events_p99_response_ms": float(events.stats.p99_response_ms),
-        "conservation_ok": True,
-        "fluid_floor_requests_per_second": FLUID_FLOOR_REQ_S,
-        "speedup_floor": SPEEDUP_FLOOR,
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-    }
-    out = results_dir / "bench_sim_throughput.json"
-    out.write_text(json.dumps(record, indent=2) + "\n")
+    recorder = BenchRecorder("sim_throughput")
+    recorder.update(
+        mode="fast" if FAST else "full",
+        topology=f"synthetic-wan-{N_SITES}",
+        n_sites=N_SITES,
+        system="majority:simple:2",
+        strategy="threshold-balanced",
+        rate_per_ms=RATE_PER_MS,
+        fluid_duration_ms=FLUID_DURATION_MS,
+        events_duration_ms=EVENTS_DURATION_MS,
+        fluid_operations=int(fluid.operations_completed),
+        fluid_requests=int(fluid.requests_issued),
+        fluid_seconds=fluid_s,
+        fluid_requests_per_second=fluid_req_s,
+        events_operations=int(events.operations_completed),
+        events_requests=int(events.requests_issued),
+        events_seconds=events_s,
+        events_requests_per_second=events_req_s,
+        speedup=speedup,
+        fluid_mean_response_ms=float(fluid.stats.mean_response_ms),
+        events_mean_response_ms=float(events.stats.mean_response_ms),
+        fluid_p99_response_ms=float(fluid.stats.p99_response_ms),
+        events_p99_response_ms=float(events.stats.p99_response_ms),
+        conservation_ok=True,
+        fluid_floor_requests_per_second=FLUID_FLOOR_REQ_S,
+        speedup_floor=SPEEDUP_FLOOR,
+    )
+    recorder.write(results_dir, "bench_sim_throughput.json")
 
     print()
     print(f"== sim throughput: wan-{N_SITES}, {RATE_PER_MS} ops/ms, "

@@ -19,6 +19,9 @@ time. Subcommands::
     python -m repro dynamics --scenario mixed --simulate-rate 0.5
     python -m repro dynamics --scenario diurnal --closed-loop --noise 0.1
     python -m repro dynamics --closed-loop --tune-thresholds 0.02,0.05,0.2
+    python -m repro figure fig_8_9 --fast --jobs 2 --trace run.jsonl
+    python -m repro trace summarize run.jsonl --top 10
+    python -m repro trace summarize run.jsonl --check
 
 ``--jobs`` parallelizes the independent units of work (placement
 candidates for ``plan``, grid points for ``figure``) over worker
@@ -34,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 import numpy as np
 
@@ -55,6 +59,9 @@ from repro.network.datasets import (
     load_topology,
     topology_sites,
 )
+from repro.obs import tracer as obs
+from repro.obs.summarize import check as check_trace
+from repro.obs.summarize import summarize as summarize_trace
 from repro.placement.hierarchical import hierarchical_best_placement
 from repro.placement.many_to_one import best_many_to_one_placement
 from repro.placement.search import best_placement
@@ -376,6 +383,24 @@ def _cmd_dynamics(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    if args.check:
+        print(check_trace(args.path))
+    else:
+        print(summarize_trace(args.path, top=args.top))
+    return 0
+
+
+def _trace_config(args) -> dict:
+    """The manifest's config: the parsed CLI arguments, scalars only."""
+    return {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if key != "trace"
+        and isinstance(value, (str, int, float, bool, type(None)))
+    }
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -408,6 +433,9 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--jobs", type=int, default=1, metavar="N",
                       help="worker processes for the placement search "
                       "(0 = all cores)")
+    plan.add_argument("--trace", default=None, metavar="PATH",
+                      help="record a JSONL observability trace of the "
+                      "run (inspect with 'trace summarize')")
 
     figure = sub.add_parser(
         "figure", help="regenerate one of the paper's figures"
@@ -429,6 +457,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="trim the cache to this size after each "
                         "store, evicting oldest entries first "
                         "(default: unbounded)")
+    figure.add_argument("--trace", default=None, metavar="PATH",
+                        help="record a JSONL observability trace of the "
+                        "run (inspect with 'trace summarize')")
     figure.add_argument("--sim-backend", default=None,
                         choices=["events", "fluid", "both"],
                         help="simulation backend for figures that run "
@@ -489,6 +520,24 @@ def build_parser() -> argparse.ArgumentParser:
                           help="after the replay, cross-check each "
                           "segment's placement in the fluid simulator "
                           "at this open-loop arrival rate (0 = skip)")
+    dynamics.add_argument("--trace", default=None, metavar="PATH",
+                          help="record a JSONL observability trace of "
+                          "the run (inspect with 'trace summarize')")
+
+    trace = sub.add_parser(
+        "trace", help="inspect JSONL observability traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summarize = trace_sub.add_parser(
+        "summarize",
+        help="per-phase time breakdown, counter rollup, slowest points",
+    )
+    trace_summarize.add_argument("path", help="trace file (JSONL)")
+    trace_summarize.add_argument("--top", type=int, default=5, metavar="N",
+                                 help="slowest grid points to list")
+    trace_summarize.add_argument("--check", action="store_true",
+                                 help="validate the trace structurally "
+                                 "and print one summary line (CI gate)")
     return parser
 
 
@@ -500,9 +549,28 @@ def main(argv: list[str] | None = None) -> int:
         "plan": _cmd_plan,
         "figure": _cmd_figure,
         "dynamics": _cmd_dynamics,
+        "trace": _cmd_trace,
     }
+    handler = handlers[args.command]
     try:
-        return handlers[args.command](args)
+        trace_path = getattr(args, "trace", None)
+        if trace_path is None or args.command == "trace":
+            return handler(args)
+        # --trace: run the command under an active tracer and persist
+        # the JSONL trace afterwards. Tracing is observation only — the
+        # command's results and exit code are identical either way.
+        tracer = obs.Tracer()
+        with obs.tracing(tracer):
+            status = handler(args)
+        out = obs.write_trace(
+            Path(trace_path), tracer, config=_trace_config(args)
+        )
+        events, counters = tracer.export()
+        print(
+            f"trace: {len(events)} span(s), {len(counters)} counter(s) "
+            f"-> {out}"
+        )
+        return status
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -49,6 +49,7 @@ from repro.dynamics.telemetry import (
 )
 from repro.errors import DynamicsError, InfeasibleError
 from repro.network.graph import Topology
+from repro.obs import tracer as obs
 from repro.quorums.base import QuorumSystem
 from repro.strategies.lp_optimizer import StrategyProgram
 
@@ -427,6 +428,13 @@ class AdaptiveController:
             out.max_overload[i] = float(
                 np.maximum(loads - caps[i], 0.0).max()
             )
+        obs.count("dynamics.epochs", n_epochs)
+        reopts = int(np.count_nonzero(out.reoptimized))
+        if reopts:
+            obs.count("dynamics.reopt", reopts)
+        infeasible = int(np.count_nonzero(out.infeasible))
+        if infeasible:
+            obs.count("dynamics.infeasible", infeasible)
         return out
 
 
@@ -457,4 +465,9 @@ def replay_segment(
         backend=backend,
         telemetry=telemetry,
     )
-    return controller.run_segment(rtt_factors, capacities, rtt_changed)
+    with obs.span(
+        "dynamics.segment",
+        policy=policy,
+        epochs=int(np.asarray(rtt_factors).shape[0]),
+    ):
+        return controller.run_segment(rtt_factors, capacities, rtt_changed)

@@ -43,6 +43,7 @@ from repro.dynamics.telemetry import TelemetryConfig
 from repro.errors import DynamicsError
 from repro.lp import lp_backend_name
 from repro.network.graph import Topology
+from repro.obs import tracer as obs
 from repro.placement.search import best_placement
 from repro.quorums.base import QuorumSystem
 from repro.runtime.cache import (  # cache-key-input
@@ -451,7 +452,10 @@ def replay(
                     },
                 )
             )
-        placement_results = runner.run(placement_points)
+        with obs.span(
+            "dynamics.placements", segments=len(segments)
+        ):
+            placement_results = runner.run(placement_points)
         sub_assignments = [
             placement_results[index] for index in range(len(segments))
         ]
@@ -527,7 +531,8 @@ def replay(
                         },
                     )
                 )
-        results = runner.run(points)
+        with obs.span("dynamics.replays", points=len(points)):
+            results = runner.run(points)
 
     series: dict[str, PolicySeries] = {}
     for spec in specs:

@@ -27,6 +27,7 @@ from repro.experiments import (
     fig_throughput,
 )
 from repro.experiments.series import FigureResult
+from repro.obs import tracer as obs
 from repro.runtime.cache import ResultCache
 from repro.runtime.runner import GridRunner, shared_runner
 
@@ -84,8 +85,26 @@ def run_figure(
     # An explicit runner=None means "no shared runner", not a conflict:
     # fall through and build one honoring jobs/cache.
     runner = kwargs.pop("runner", None)
-    if runner is not None:
-        with shared_runner(runner, jobs=jobs, cache=cache):
-            return runner_fn(fast=fast, runner=runner, **kwargs)
-    with GridRunner(jobs=jobs, cache=cache) as runner:
-        return runner_fn(fast=fast, runner=runner, **kwargs)
+    with obs.span("figure", figure_id=figure_id, fast=fast):
+        if runner is not None:
+            with shared_runner(runner, jobs=jobs, cache=cache):
+                active_cache = runner.cache
+                before = (
+                    active_cache.stats()
+                    if active_cache is not None
+                    else None
+                )
+                result = runner_fn(fast=fast, runner=runner, **kwargs)
+        else:
+            before = cache.stats() if cache is not None else None
+            active_cache = cache
+            with GridRunner(jobs=jobs, cache=cache) as runner:
+                result = runner_fn(fast=fast, runner=runner, **kwargs)
+    if active_cache is not None and before is not None:
+        after = active_cache.stats()
+        # This run's cache effectiveness — a delta, so shared caches and
+        # shared runners report only what this figure contributed.
+        result.metadata["cache"] = {
+            name: after[name] - before[name] for name in after
+        }
+    return result

@@ -74,6 +74,7 @@ from scipy.optimize import linprog
 from repro.errors import InfeasibleError, SolverError
 from repro.lp.problem import LinearProgram
 from repro.lp.solver import LPSolution
+from repro.obs import tracer as obs
 
 __all__ = ["BatchedProgram", "lp_backend_name"]
 
@@ -183,17 +184,20 @@ class _HighsBackend:
         basis = self._solver.getBasis()
         self._anchor = self._copy_basis(basis) if basis.valid else None
 
-    def restart(self) -> None:
+    def restart(self) -> bool:
         """Reset the solver onto the anchor basis (cold if none captured).
 
         Either way the solver state right before the next solve is a pure
-        function of the built model, never of earlier requests.
+        function of the built model, never of earlier requests. Returns
+        whether the anchor basis was applied — i.e. whether the next
+        solve is a warm start (the ``lp.warm_start_hit`` counter).
         """
         if self._anchor is not None:
             status = self._solver.setBasis(self._copy_basis(self._anchor))
             if status != self._hs.HighsStatus.kError:
-                return
+                return True
         self._solver.clearSolver()
+        return False
 
     def cold_restart(self) -> None:
         """Discard all solver state: the next solve runs from scratch."""
@@ -254,8 +258,8 @@ class _ScipyBackend:
     def capture_anchor(self) -> None:
         pass  # stateless: every solve is already trajectory-independent
 
-    def restart(self) -> None:
-        pass  # ditto
+    def restart(self) -> bool:
+        return False  # stateless: every solve runs cold by construction
 
     def cold_restart(self) -> None:
         pass  # ditto
@@ -410,6 +414,7 @@ class BatchedProgram:
         # solver; calibrate from a cold state or the anchor would inherit
         # that history and the canonical guarantee would be a lie.
         self._impl.cold_restart()
+        obs.count("lp.calibration")
         try:
             self.solve_count += 1
             self._impl.solve(
@@ -450,6 +455,7 @@ class BatchedProgram:
         self._arrays["c"][variables] = coefficients
         self._impl.update_objective(variables, coefficients)
         self.update_count += 1
+        obs.count("lp.update")
 
     def update_le_rows(
         self,
@@ -496,6 +502,7 @@ class BatchedProgram:
             np.repeat(rows, values.shape[1]), cols, values.ravel()
         )
         self.update_count += 1
+        obs.count("lp.update")
 
     def _check_rhs(self, b_ub: "np.ndarray | Sequence | None") -> np.ndarray | None:
         if self._n_le == 0:
@@ -542,6 +549,8 @@ class BatchedProgram:
             )
         variants = [self._check_rhs(v) for v in b_ub_variants]
         self.solve_count += len(variants)
+        if variants:
+            obs.count("lp.solve", len(variants))
         self._impl.cold_restart()
         if order == "sorted" and self._n_le and len(variants) > 1:
             stacked = np.stack(variants)
@@ -564,8 +573,11 @@ class BatchedProgram:
             b_ub = self._arrays["b_ub"]
         rhs = self._check_rhs(b_ub)
         self._ensure_anchor()
-        self._impl.restart()
+        warm = self._impl.restart()
         self.solve_count += 1
+        obs.count("lp.solve")
+        if warm:
+            obs.count("lp.warm_start_hit")
         solution = self._impl.solve(rhs)
         if solution is None:
             raise InfeasibleError("linear program is infeasible")

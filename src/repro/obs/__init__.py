@@ -1,0 +1,44 @@
+"""repro.obs — deterministic tracing, metrics, and run manifests.
+
+The instrumentation surface the rest of the library uses is tiny:
+
+- :func:`~repro.obs.tracer.span` / :func:`~repro.obs.tracer.count` —
+  no-ops unless a tracer is active, so hot paths stay free when tracing
+  is off.
+- :class:`~repro.obs.tracer.Tracer` + :func:`~repro.obs.tracer.tracing`
+  + :func:`~repro.obs.tracer.write_trace` — how drivers (the CLI's
+  ``--trace``, benchmarks) turn tracing on and persist JSONL traces.
+
+Reading tools live in :mod:`repro.obs.summarize` (behind ``python -m
+repro trace summarize``) and benchmark emission in
+:mod:`repro.obs.bench`; neither is imported here, keeping this package's
+import cost on the instrumented hot modules near zero.
+"""
+
+from repro.obs.tracer import (
+    TRACE_SCHEMA_VERSION,
+    Span,
+    Tracer,
+    activate,
+    build_manifest,
+    count,
+    current_tracer,
+    deactivate,
+    span,
+    tracing,
+    write_trace,
+)
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "Span",
+    "Tracer",
+    "activate",
+    "build_manifest",
+    "count",
+    "current_tracer",
+    "deactivate",
+    "span",
+    "tracing",
+    "write_trace",
+]

@@ -1,0 +1,105 @@
+"""Uniform benchmark-record emission for ``benchmarks/bench_*.py``.
+
+Every benchmark used to assemble its own JSON dict, so the provenance
+fields drifted per script (some recorded the python version, none the
+git sha). :class:`BenchRecorder` centralizes the shared schema — git
+sha, python/numpy versions, backend environment, machine, timestamp,
+and optionally the run's tracer counters — while each script keeps its
+own measurement payload, so the existing ``benchmarks/results/*.json``
+keys stay readable by whatever parses them today.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+from pathlib import Path
+from typing import Any
+
+from repro.obs.clock import wall_clock_iso
+
+__all__ = ["BENCH_SCHEMA_VERSION", "BenchRecorder"]
+
+#: Version of the shared provenance envelope (not of any per-benchmark
+#: payload); bumped when envelope fields change shape or meaning.
+BENCH_SCHEMA_VERSION = 1
+
+
+def _git_sha() -> str:
+    """The repo's short commit sha, or ``"unknown"`` outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if proc.returncode != 0:
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+class BenchRecorder:
+    """Collects one benchmark's JSON record and writes it with shared
+    provenance fields.
+
+    >>> recorder = BenchRecorder("demo")
+    >>> recorder.update(speedup=2.5)
+    >>> record = recorder.build()
+    >>> record["benchmark"], record["bench_schema"], record["speedup"]
+    ('demo', 1, 2.5)
+
+    Payload keys set via :meth:`update` win over the envelope, so a
+    script that has always recorded e.g. its own ``backend`` string keeps
+    emitting exactly that.
+    """
+
+    def __init__(self, benchmark: str) -> None:
+        self.benchmark = benchmark
+        self.fields: dict[str, Any] = {}
+
+    def update(self, **fields: Any) -> None:
+        """Merge measurement fields into the record."""
+        self.fields.update(fields)
+
+    def build(self, counters: dict[str, int] | None = None) -> dict[str, Any]:
+        """The full record: provenance envelope + payload (+ counters)."""
+        # Deferred imports keep repro.obs import-light for the hot
+        # modules; a bench record is built once per script run.
+        import numpy
+
+        from repro.lp.batched import lp_backend_name
+        from repro.runtime.shm import shm_available
+
+        record: dict[str, Any] = {
+            "benchmark": self.benchmark,
+            "bench_schema": BENCH_SCHEMA_VERSION,
+            "git_sha": _git_sha(),
+            "python": platform.python_version(),
+            "numpy": numpy.__version__,
+            "machine": platform.machine(),
+            "lp_backend": lp_backend_name(),
+            "shm_available": shm_available(),
+            "timestamp": wall_clock_iso(),
+        }
+        record.update(self.fields)
+        if counters is not None:
+            record["counters"] = {k: int(v) for k, v in counters.items()}
+        return record
+
+    def write(
+        self,
+        results_dir: "Path | str",
+        filename: str,
+        counters: dict[str, int] | None = None,
+    ) -> dict[str, Any]:
+        """Write the record as ``results_dir/filename``; returns it."""
+        record = self.build(counters=counters)
+        out = Path(results_dir) / filename
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+        return record

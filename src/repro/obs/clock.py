@@ -1,0 +1,26 @@
+"""The observability stack's only window onto wall time.
+
+Every clock read in the tracing layer goes through this module — the one
+path ``repro.lint``'s RL002 rule allowlists (see ``DEFAULT_ALLOW`` in
+:mod:`repro.lint.engine`). Keeping the reads here makes the determinism
+contract auditable: span *timings* are the single nondeterministic field
+in a trace, and nothing outside this module can mint one, so no timing
+can leak into results, cache keys, or control flow by construction (a
+clock read added anywhere else in ``repro.obs`` fails the lint gate).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["monotonic_ns", "wall_clock_iso"]
+
+
+def monotonic_ns() -> int:
+    """Current monotonic time in nanoseconds (span timestamps)."""
+    return time.perf_counter_ns()
+
+
+def wall_clock_iso() -> str:
+    """Current wall-clock time, ISO-8601 UTC (manifest / bench records)."""
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())

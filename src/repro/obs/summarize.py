@@ -1,0 +1,201 @@
+"""Reading side of the trace format: validation and text rollups.
+
+:func:`load_trace` parses a JSONL trace written by
+:func:`repro.obs.tracer.write_trace` and validates it structurally —
+manifest first and versioned, span ids unique with parents already seen,
+durations non-negative, one trailing counter record. :func:`summarize`
+renders the per-phase time breakdown, counter rollup, and top-N slowest
+grid points behind ``python -m repro trace summarize``; :func:`check` is
+the CI validity gate (``--check``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ReproError
+from repro.obs.tracer import TRACE_SCHEMA_VERSION
+
+__all__ = ["check", "load_trace", "summarize"]
+
+#: Fields every manifest must carry for a reader to interpret the trace.
+_MANIFEST_REQUIRED = (
+    "trace_schema",
+    "cache_schema",
+    "lp_backend",
+    "config",
+    "config_fingerprint",
+)
+
+_SPAN_REQUIRED = ("id", "parent", "name", "proc", "t0_us", "dur_us", "attrs")
+
+
+def _fail(path: Path, line_no: int, reason: str) -> ReproError:
+    return ReproError(f"{path}:{line_no}: invalid trace — {reason}")
+
+
+def load_trace(
+    path: "Path | str",
+) -> tuple[dict[str, Any], list[dict[str, Any]], dict[str, int]]:
+    """Parse and validate a trace; ``(manifest, spans, counters)``.
+
+    Raises :class:`~repro.errors.ReproError` naming the offending line
+    for anything malformed — the same strictness ``--check`` relies on.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ReproError(f"cannot read trace {path}: {exc}") from exc
+    lines = text.splitlines()
+    if not lines:
+        raise ReproError(f"{path}: invalid trace — file is empty")
+
+    manifest: dict[str, Any] | None = None
+    spans: list[dict[str, Any]] = []
+    counters: dict[str, int] | None = None
+    seen_ids: set[int] = set()
+
+    for line_no, line in enumerate(lines, start=1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise _fail(path, line_no, f"not JSON ({exc.msg})") from exc
+        if not isinstance(record, dict) or "type" not in record:
+            raise _fail(path, line_no, "record is not an object with 'type'")
+        kind = record["type"]
+        if line_no == 1:
+            if kind != "manifest":
+                raise _fail(path, line_no, "first record must be a manifest")
+            missing = [f for f in _MANIFEST_REQUIRED if f not in record]
+            if missing:
+                raise _fail(path, line_no, f"manifest missing {missing}")
+            if record["trace_schema"] != TRACE_SCHEMA_VERSION:
+                raise _fail(
+                    path,
+                    line_no,
+                    f"trace schema {record['trace_schema']!r} != "
+                    f"supported {TRACE_SCHEMA_VERSION}",
+                )
+            manifest = record
+            continue
+        if kind == "manifest":
+            raise _fail(path, line_no, "duplicate manifest")
+        if kind == "counters":
+            if counters is not None:
+                raise _fail(path, line_no, "duplicate counters record")
+            if line_no != len(lines):
+                raise _fail(path, line_no, "counters record must be last")
+            totals = record.get("counters")
+            if not isinstance(totals, dict):
+                raise _fail(path, line_no, "counters must be an object")
+            for name, value in totals.items():
+                if not isinstance(value, int) or value < 0:
+                    raise _fail(
+                        path,
+                        line_no,
+                        f"counter {name!r} must be a non-negative "
+                        f"integer, got {value!r}",
+                    )
+            counters = {str(k): int(v) for k, v in totals.items()}
+            continue
+        if kind != "span":
+            raise _fail(path, line_no, f"unknown record type {kind!r}")
+        missing = [f for f in _SPAN_REQUIRED if f not in record]
+        if missing:
+            raise _fail(path, line_no, f"span missing {missing}")
+        span_id = record["id"]
+        if not isinstance(span_id, int) or span_id in seen_ids:
+            raise _fail(path, line_no, f"span id {span_id!r} reused or bad")
+        parent = record["parent"]
+        if parent is not None and parent not in seen_ids:
+            raise _fail(
+                path,
+                line_no,
+                f"span {span_id} references unknown parent {parent!r}",
+            )
+        if not isinstance(record["name"], str) or not record["name"]:
+            raise _fail(path, line_no, "span name must be non-empty")
+        dur = record["dur_us"]
+        if not isinstance(dur, (int, float)) or dur < 0:
+            raise _fail(path, line_no, f"span duration {dur!r} is negative")
+        if not isinstance(record["attrs"], dict):
+            raise _fail(path, line_no, "span attrs must be an object")
+        seen_ids.add(span_id)
+        spans.append(record)
+
+    if manifest is None:  # unreachable: line 1 either set it or raised
+        raise ReproError(f"{path}: invalid trace — no manifest")
+    if counters is None:
+        raise ReproError(f"{path}: invalid trace — no counters record")
+    return manifest, spans, counters
+
+
+def summarize(path: "Path | str", top: int = 5) -> str:
+    """Render a trace: per-phase times, counter rollup, slowest points."""
+    manifest, spans, counters = load_trace(path)
+    lines = [f"== trace summary: {Path(path).name} =="]
+    lines.append(
+        "   manifest: "
+        f"trace_schema={manifest['trace_schema']} "
+        f"cache_schema={manifest['cache_schema']} "
+        f"lp_backend={manifest['lp_backend']} "
+        f"config_fingerprint={str(manifest['config_fingerprint'])[:12]}"
+    )
+
+    by_name: dict[str, list[float]] = {}
+    for record in spans:
+        by_name.setdefault(record["name"], []).append(
+            float(record["dur_us"]) / 1000.0
+        )
+    lines.append(f"   spans: {len(spans)} across {len(by_name)} name(s)")
+    if by_name:
+        lines.append(
+            f"     {'name':<24} {'count':>6} {'total_ms':>10} "
+            f"{'mean_ms':>9} {'max_ms':>9}"
+        )
+        rows = sorted(
+            by_name.items(), key=lambda kv: (-sum(kv[1]), kv[0])
+        )
+        for name, durations in rows:
+            total = sum(durations)
+            lines.append(
+                f"     {name:<24} {len(durations):>6} {total:>10.2f} "
+                f"{total / len(durations):>9.2f} {max(durations):>9.2f}"
+            )
+
+    lines.append(f"   counters: {len(counters)}")
+    for name in sorted(counters):
+        lines.append(f"     {name:<32} {counters[name]:>10}")
+
+    points = [r for r in spans if r["name"] == "grid.point"]
+    if points and top > 0:
+        # Ties broken by tag so the listing is deterministic even when
+        # two points record equal durations.
+        slowest = sorted(
+            points,
+            key=lambda r: (
+                -float(r["dur_us"]),
+                str(r["attrs"].get("tag", "")),
+            ),
+        )[:top]
+        lines.append(f"   top {len(slowest)} slowest grid point(s):")
+        for record in slowest:
+            tag = record["attrs"].get("tag", "?")
+            lines.append(
+                f"     {str(tag):<40} {float(record['dur_us']) / 1000.0:>10.2f} ms"
+            )
+    return "\n".join(lines)
+
+
+def check(path: "Path | str") -> str:
+    """Validate a trace; one summary line on success, raises otherwise."""
+    manifest, spans, counters = load_trace(path)
+    return (
+        f"ok: {Path(path).name} — {len(spans)} span(s), "
+        f"{len(counters)} counter(s), "
+        f"lp_backend={manifest['lp_backend']}, "
+        f"cache_schema={manifest['cache_schema']}"
+    )

@@ -58,6 +58,7 @@ import numpy as np
 from repro.errors import PlacementError
 from repro.lp import BatchedProgram, LinearProgram, solve
 from repro.network.graph import Topology
+from repro.obs import tracer as obs
 from repro.quorums.base import QuorumSystem
 
 __all__ = [
@@ -305,6 +306,7 @@ class FractionalProgram:
         self._x_block = x
         self._z_block = z
         self._batched = BatchedProgram(lp, backend=backend)
+        obs.count("fractional.assemble")
 
     @property
     def backend(self) -> str:

@@ -25,6 +25,7 @@ from repro.core.strategy import (
 )
 from repro.errors import PlacementError
 from repro.network.graph import Topology
+from repro.obs import tracer as obs
 from repro.placement.one_to_one import one_to_one_placement
 from repro.quorums.base import QuorumSystem
 from repro.quorums.threshold import ThresholdQuorumSystem
@@ -154,11 +155,14 @@ def best_placement(
             for i, v0 in enumerate(v0_list)
         ]
 
-    if runner is not None:
-        results = runner.run(_points(runner.ship(topology)))
-    else:
-        with GridRunner(jobs=jobs) as own_runner:
-            results = own_runner.run(_points(own_runner.ship(topology)))
+    with obs.span("placement.search", candidates=len(v0_list)):
+        if runner is not None:
+            results = runner.run(_points(runner.ship(topology)))
+        else:
+            with GridRunner(jobs=jobs) as own_runner:
+                results = own_runner.run(
+                    _points(own_runner.ship(topology))
+                )
     candidate_delays = [
         results[(i, v0)] for i, v0 in enumerate(v0_list)
     ]

@@ -32,6 +32,7 @@ from typing import Any
 import numpy as np
 
 from repro.network.graph import Topology
+from repro.obs import tracer as obs
 from repro.quorums.base import QuorumSystem
 from repro.quorums.threshold import ThresholdQuorumSystem
 
@@ -265,8 +266,10 @@ class ResultCache:
             # (UnpicklingError, ValueError, EOFError, AttributeError...);
             # any unreadable entry is a miss and will be overwritten.
             self.misses += 1
+            obs.count("cache.miss")
             return False, None
         self.hits += 1
+        obs.count("cache.hit")
         return True, value
 
     def put(self, key: str, value: Any) -> None:
@@ -294,6 +297,7 @@ class ResultCache:
                 pass
             raise
         self.stores += 1
+        obs.count("cache.store")
         if self.max_size_bytes is not None:
             try:
                 self._approx_size += path.stat().st_size - old_size
@@ -350,6 +354,8 @@ class ResultCache:
             removed += 1
         self._approx_size = total
         self.evictions += removed
+        if removed:
+            obs.count("cache.eviction", removed)
         return removed
 
     def clear(self) -> int:
@@ -369,6 +375,20 @@ class ResultCache:
         # carry the deleted bytes forever and force early trims later.
         self._approx_size = leftover
         return removed
+
+    def stats(self) -> dict[str, int]:
+        """Snapshot of this cache's effectiveness counters.
+
+        Drivers expose deltas of this on their results (e.g.
+        ``run_figure`` under ``FigureResult.metadata["cache"]``), so
+        cache behavior is visible without reaching into the cache object.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+        }
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.pkl"))

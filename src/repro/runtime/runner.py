@@ -55,6 +55,8 @@ from typing import (
 # cache-key-input: the runner folds every point's cache_key through
 # content_key; scheduling must never reach a key that content does not.
 from repro.errors import ReproError
+from repro.obs import tracer as obs
+from repro.obs.clock import monotonic_ns
 from repro.runtime.cache import ResultCache, content_key
 from repro.runtime.grid import GridPoint
 from repro.runtime.shm import TopologyBroker
@@ -91,6 +93,11 @@ def _mark_worker() -> None:
     global _IN_WORKER
     _IN_WORKER = True
     _WORKER_MEMO.clear()
+    # Forked workers inherit the parent's active tracer object; events
+    # recorded into that copy would be silently lost (and re-activation
+    # for a traced task would refuse). Each traced task activates its own
+    # worker-local tracer in _invoke_traced instead.
+    obs.deactivate()
 
 
 def in_worker() -> bool:
@@ -197,6 +204,30 @@ def _invoke(fn: Callable[..., Any], kwargs: dict) -> Any:
     return fn(**kwargs)
 
 
+def _invoke_traced(
+    fn: Callable[..., Any], kwargs: dict
+) -> tuple[Any, list[dict[str, Any]], dict[str, int]]:
+    """Traced worker trampoline: piggyback local spans on the result.
+
+    When the parent dispatches a batch with tracing active, each task
+    records into its own worker-local tracer (solver state and spans both
+    stay process-local) and ships ``(value, events, counters)`` back; the
+    parent grafts the events under its per-point span in submission
+    order, so a parallel run still yields one deterministic merged trace.
+    Tracing wraps the same ``fn(**kwargs)`` call ``_invoke`` makes — the
+    value (and therefore anything cached) is untouched.
+    """
+    tracer = obs.Tracer(label="worker")
+    obs.activate(tracer)
+    try:
+        with tracer.span("task"):
+            value = fn(**kwargs)
+    finally:
+        obs.deactivate()
+    events, counters = tracer.export()
+    return value, events, counters
+
+
 def _shutdown_pools(holder: list) -> None:
     """Finalizer target: shuts down any executor left in ``holder``."""
     while holder:
@@ -285,7 +316,17 @@ class GridRunner:
             if self.cache is not None and point.tag in keys:
                 self.cache.put(keys[point.tag], value)
 
-        self._evaluate(pending, _record)
+        tracer = obs.current_tracer()
+        if tracer is None:
+            self._evaluate(pending, _record, None)
+            return results
+        with tracer.span(
+            "grid.run",
+            points=len(points),
+            cached=len(points) - len(pending),
+            jobs=self.jobs,
+        ):
+            self._evaluate(pending, _record, tracer)
         return results
 
     def map(
@@ -323,6 +364,7 @@ class GridRunner:
         self,
         points: list[GridPoint],
         record: Callable[[GridPoint, Any], None],
+        tracer: "obs.Tracer | None",
     ) -> None:
         # A parallel runner dispatches even a single point to the pool:
         # running it inline in the main process would let runners nested
@@ -332,7 +374,11 @@ class GridRunner:
         if not self.parallel or not points:
             for point in points:
                 try:
-                    value = point()
+                    if tracer is None:
+                        value = point()
+                    else:
+                        with tracer.span("grid.point", tag=str(point.tag)):
+                            value = point()
                 except Exception as exc:
                     raise ReproError(
                         f"grid point {point.tag!r} failed: {exc}"
@@ -340,14 +386,36 @@ class GridRunner:
                 record(point, value)
             return
         pool = self._pool()
+        batch_start = 0 if tracer is None else monotonic_ns()
+        submit = _invoke if tracer is None else _invoke_traced
         futures = [
-            pool.submit(_invoke, point.fn, point.kwargs) for point in points
+            pool.submit(submit, point.fn, point.kwargs) for point in points
         ]
+
+        def _accept(point: GridPoint, payload: Any) -> Any:
+            # Traced batches ship (value, worker events, counters) — see
+            # _invoke_traced. Unwrap and graft the worker's spans under a
+            # per-point span *before* the value reaches the cache, so a
+            # traced run stores exactly the bytes an untraced run would.
+            # The per-point span covers dispatch-to-receipt (its duration
+            # minus the nested worker "task" span is queue wait plus
+            # transport); merges happen in submission order, keeping the
+            # merged trace structurally deterministic.
+            if tracer is None:
+                return payload
+            value, events, counters = payload
+            point_span = tracer.record_span(
+                "grid.point", batch_start, monotonic_ns(),
+                tag=str(point.tag),
+            )
+            tracer.merge(events, counters, parent=point_span)
+            return value
+
         recorded = 0
         try:
             for point, future in zip(points, futures):
                 try:
-                    value = future.result()
+                    value = _accept(point, future.result())
                 except Exception as exc:
                     raise ReproError(
                         f"grid point {point.tag!r} failed in a pool "
@@ -369,7 +437,7 @@ class GridRunner:
                         and not future.cancelled()
                         and future.exception() is None
                     ):
-                        record(point, future.result())
+                        record(point, _accept(point, future.result()))
                 except Exception:  # repro-lint: disable=RL005 -- salvage of already-finished futures must never mask the original error, which is re-raised right below
                     pass
             raise

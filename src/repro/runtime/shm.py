@@ -37,6 +37,7 @@ from __future__ import annotations
 # resolving to different bytes than its fingerprint promises would serve
 # stale cached results.
 
+import logging
 import os
 import pickle
 import secrets
@@ -46,7 +47,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.network.graph import Topology
+from repro.obs import tracer as obs
 from repro.runtime.cache import topology_fingerprint
+
+logger = logging.getLogger(__name__)
 
 try:  # pragma: no cover - import succeeds on every supported platform
     from multiprocessing import shared_memory
@@ -178,6 +182,7 @@ def resolve_topology(obj: "Topology | TopologyHandle") -> Topology:
             "has no multiprocessing.shared_memory support"
         )
     block, topology = _attach(obj)
+    obs.count("shm.attach")
     while len(_ATTACHED) >= _ATTACHED_MAX:
         _ATTACHED.pop(next(iter(_ATTACHED)))
     _ATTACHED[obj.fingerprint] = (block, topology)
@@ -216,6 +221,14 @@ class TopologyBroker:
     def publish(self, topology: Topology) -> "Topology | TopologyHandle":
         """A shippable reference for ``topology``: handle, or the object."""
         if not shm_available():
+            # Deliberate (REPRO_NO_SHM) or structural (no shared_memory
+            # module): not silent either way — the pickle-per-task path
+            # is a real throughput cliff on large topologies.
+            logger.info(
+                "shared-memory transport unavailable; shipping pickled "
+                "topologies per task"
+            )
+            obs.count("shm.fallback")
             return topology
         fingerprint = topology_fingerprint(topology)
         handle = self._handles.get(fingerprint)
@@ -231,9 +244,19 @@ class TopologyBroker:
             block = shared_memory.SharedMemory(
                 create=True, size=size, name=name
             )
-        except (OSError, ValueError):
+        except (OSError, ValueError) as exc:
             # No usable /dev/shm (or the block is too large for it):
             # fall back to shipping the topology itself.
+            logger.warning(
+                "shared-memory publish failed for topology %s "
+                "(%d nodes, %d bytes): %s; falling back to pickling "
+                "the topology per task",
+                fingerprint[:12],
+                n,
+                size,
+                exc,
+            )
+            obs.count("shm.fallback")
             return topology
         rtt_view = np.ndarray((n, n), dtype=np.float64, buffer=block.buf)
         rtt_view[:] = topology.rtt
@@ -254,6 +277,7 @@ class TopologyBroker:
         self._blocks[fingerprint] = block
         self._handles[fingerprint] = handle
         _PUBLISHED[fingerprint] = topology
+        obs.count("shm.publish")
         return handle
 
     @property

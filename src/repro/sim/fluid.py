@@ -53,6 +53,7 @@ import numpy as np
 
 from repro.core.strategy import ExplicitStrategy
 from repro.errors import SimulationError
+from repro.obs import tracer as obs
 from repro.quorums.threshold import ThresholdQuorumSystem
 from repro.sim.metrics import PairTelemetry, summarize_arrays
 
@@ -391,6 +392,7 @@ def run_fluid(
 
     requests_processed = sum(processed_by_node.values())
     requests_dropped = int(req_dropped.sum())
+    obs.count("sim.requests", int(total))
     return GenericSimResult(
         stats=stats,
         per_node_request_rate=rates,

@@ -31,6 +31,7 @@ import numpy as np
 from repro.core.placement import PlacedQuorumSystem
 from repro.core.strategy import AccessStrategy, ExplicitStrategy
 from repro.errors import SimulationError
+from repro.obs import tracer as obs
 from repro.sim.failures import FailureSchedule
 from repro.quorums.threshold import ThresholdQuorumSystem
 from repro.sim.engine import Simulator
@@ -562,7 +563,8 @@ class GenericQuorumSimulation:
         if self.backend == "fluid":
             from repro.sim.fluid import run_fluid
 
-            return run_fluid(self, duration_ms, warmup_ms=warmup_ms)
+            with obs.span("sim.fluid", duration_ms=float(duration_ms)):
+                return run_fluid(self, duration_ms, warmup_ms=warmup_ms)
         if self.arrivals is not None:
             self.clients, times = self._build_open_loop_clients(duration_ms)
             for client, start_at in zip(self.clients, times):
@@ -571,7 +573,8 @@ class GenericQuorumSimulation:
             rng = np.random.default_rng(self.seed)
             for client in self.clients:
                 client.start(float(rng.uniform(0.0, stagger_ms)))
-        self.sim.run(until=duration_ms)
+        with obs.span("sim.events", duration_ms=float(duration_ms)):
+            self.sim.run(until=duration_ms)
         for client in self.clients:
             client.stop()
 
@@ -587,6 +590,7 @@ class GenericQuorumSimulation:
             rates[node] = server.requests_processed / elapsed
             utils[idx] = min(1.0, server.busy_time_ms / elapsed)
         issued = sum(c.requests_sent for c in self.clients)
+        obs.count("sim.requests", int(issued))
         processed = sum(
             s.requests_processed for s in self.servers.values()
         )

@@ -37,6 +37,7 @@ from repro.core.placement import PlacedQuorumSystem
 from repro.core.strategy import ExplicitStrategy
 from repro.errors import StrategyError
 from repro.lp import BatchedProgram, LinearProgram, lp_backend_name
+from repro.obs import tracer as obs
 from repro.runtime.cache import system_fingerprint, topology_fingerprint  # cache-key-input
 from repro.runtime.runner import in_worker, worker_memo
 
@@ -142,6 +143,7 @@ class StrategyProgram:
         # Only the batched program's built arrays survive construction;
         # the builder (and its COO chunks) is released here.
         self._batched = BatchedProgram(lp, backend=backend)
+        obs.count("strategy.assemble")
 
     @property
     def backend(self) -> str:

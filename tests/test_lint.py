@@ -147,6 +147,20 @@ def test_rl002_suppression():
     assert lint_source(src) == []
 
 
+def test_rl002_obs_clock_is_the_only_allowlisted_obs_module():
+    """The tracing clock module may read wall time; the rest of the
+    observability package stays enforced — timings cannot leak in
+    anywhere but repro/obs/clock.py."""
+    src = "t0 = time.perf_counter_ns()\n"
+    assert lint_source(src, path="src/repro/obs/clock.py") == []
+    assert codes(
+        lint_source(src, path="src/repro/obs/tracer.py")
+    ) == ["RL002"]
+    assert codes(
+        lint_source(src, path="src/repro/obs/summarize.py")
+    ) == ["RL002"]
+
+
 # ----------------------------------------------------------------------
 # RL003 — fingerprint completeness
 # ----------------------------------------------------------------------
